@@ -1,0 +1,83 @@
+// Command granula-diff compares two Granula performance archives and
+// reports per-operation regressions — the paper's vision of performance
+// analysis as part of standard software-engineering practice. It exits
+// non-zero when a regression is found, so it slots directly into CI.
+//
+// Example:
+//
+//	granula-diff -baseline main/archive.json -current pr/archive.json \
+//	             -threshold 0.15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/archive"
+	"repro/internal/regression"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline archive JSON (required)")
+	currentPath := flag.String("current", "", "current archive JSON (required)")
+	jobID := flag.String("job", "", "compare only this job ID (default: every job present in both)")
+	threshold := flag.Float64("threshold", 0.10, "relative duration change that counts as a regression")
+	minSeconds := flag.Float64("min-seconds", 0.05, "ignore operations shorter than this in both runs")
+	flag.Parse()
+
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: granula-diff -baseline <file> -current <file> [-job <id>] [-threshold 0.10]")
+		os.Exit(2)
+	}
+	baseline := load(*baselinePath)
+	current := load(*currentPath)
+
+	th := regression.Thresholds{RelativeChange: *threshold, MinSeconds: *minSeconds}
+	pass := true
+	compared := 0
+	for _, cur := range current.Jobs {
+		if *jobID != "" && cur.ID != *jobID {
+			continue
+		}
+		base := baseline.Job(cur.ID)
+		if base == nil {
+			fmt.Printf("job %s: no baseline, skipping\n", cur.ID)
+			continue
+		}
+		report, err := regression.Compare(base, cur, th)
+		if err != nil {
+			fatalf("compare %s: %v", cur.ID, err)
+		}
+		fmt.Print(report.Render())
+		fmt.Println()
+		compared++
+		if !report.Pass() {
+			pass = false
+		}
+	}
+	if compared == 0 {
+		fatalf("no comparable jobs between the two archives")
+	}
+	if !pass {
+		os.Exit(1)
+	}
+}
+
+func load(path string) *archive.Archive {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	a, err := archive.Load(f)
+	if err != nil {
+		fatalf("load %s: %v", path, err)
+	}
+	return a
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command granula-model manages the performance-model library: list the
+// built-in models, render one as a tree, export it to shareable JSON,
+// load a JSON model back, and check an archived job against any model.
+//
+// Examples:
+//
+//	granula-model -list
+//	granula-model -platform giraph -render
+//	granula-model -platform giraph -export giraph-model.json
+//	granula-model -in giraph-model.json -render
+//	granula-model -in giraph-model.json -check out/archive.json -job giraph-bfs-dg1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the built-in models")
+	platform := flag.String("platform", "", "built-in model to use: giraph, powergraph, openg")
+	inPath := flag.String("in", "", "load the model from this JSON file instead")
+	render := flag.Bool("render", false, "print the model tree")
+	export := flag.String("export", "", "write the model as JSON to this file")
+	checkArchive := flag.String("check", "", "check a job in this archive against the model")
+	jobID := flag.String("job", "", "job ID for -check (default: first job)")
+	flag.Parse()
+
+	if *list {
+		for _, name := range []string{"Giraph", "PowerGraph", "OpenG"} {
+			m := core.ModelFor(name)
+			fmt.Printf("%-12s %d missions, depth %d — %s\n",
+				m.Platform, len(m.Missions()), m.MaxDepth(), m.Description)
+		}
+		return
+	}
+
+	var model *core.Model
+	switch {
+	case *inPath != "":
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		m, err := core.LoadModelJSON(f)
+		if err != nil {
+			fatalf("load model: %v", err)
+		}
+		model = m
+	case *platform != "":
+		model = core.ModelFor(*platform)
+		if model == nil {
+			fatalf("no built-in model for %q (want giraph, powergraph, or openg)", *platform)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: granula-model (-list | -platform <name> | -in <model.json>) [-render] [-export <file>] [-check <archive.json> [-job <id>]]")
+		os.Exit(2)
+	}
+
+	if *render {
+		fmt.Print(model.Render())
+	}
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := model.SaveJSON(f); err != nil {
+			fatalf("export: %v", err)
+		}
+		fmt.Printf("model written to %s\n", *export)
+	}
+	if *checkArchive != "" {
+		f, err := os.Open(*checkArchive)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		a, err := archive.Load(f)
+		if err != nil {
+			fatalf("load archive: %v", err)
+		}
+		if len(a.Jobs) == 0 {
+			fatalf("archive has no jobs")
+		}
+		job := a.Jobs[0]
+		if *jobID != "" {
+			if job = a.Job(*jobID); job == nil {
+				fatalf("no job %q in archive", *jobID)
+			}
+		}
+		errs := model.CheckJob(job)
+		if len(errs) == 0 {
+			fmt.Printf("job %s conforms to the %s model\n", job.ID, model.Platform)
+			return
+		}
+		fmt.Printf("job %s has %d mismatches against the %s model:\n", job.ID, len(errs), model.Platform)
+		for _, e := range errs {
+			fmt.Println(" ", e)
+		}
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command granula-query inspects a Granula performance archive: it lists
+// jobs, resolves mission paths, filters by mission, and prints recorded
+// and derived infos — the systematic querying the archive format exists
+// for.
+//
+// Examples:
+//
+//	granula-query -archive out/archive.json                      # list jobs
+//	granula-query -archive out/archive.json -job giraph-bfs-dg1000 -breakdown
+//	granula-query -archive out/archive.json -job giraph-bfs-dg1000 \
+//	              -path GiraphJob/ProcessGraph/Superstep
+//	granula-query -archive out/archive.json -job giraph-bfs-dg1000 -mission Compute
+//	granula-query -archive out/archive.json -job giraph-bfs-dg1000 \
+//	              -select "mission = Compute and duration > 1 order by duration desc limit 5"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+func main() {
+	archivePath := flag.String("archive", "", "archive JSON path (required)")
+	jobID := flag.String("job", "", "job ID to inspect")
+	path := flag.String("path", "", "mission path to resolve, e.g. GiraphJob/ProcessGraph/Superstep")
+	mission := flag.String("mission", "", "list every operation with this mission")
+	sel := flag.String("select", "", `query expression, e.g. "mission = Compute and duration > 1 order by duration desc limit 5"`)
+	breakdown := flag.Bool("breakdown", false, "print the domain-level breakdown")
+	infos := flag.Bool("infos", false, "include recorded and derived infos per operation")
+	flag.Parse()
+
+	if *archivePath == "" {
+		fmt.Fprintln(os.Stderr, "usage: granula-query -archive <file> [-job <id>] [-path|-mission|-breakdown]")
+		os.Exit(2)
+	}
+	f, err := os.Open(*archivePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	a, err := archive.Load(f)
+	if err != nil {
+		fatalf("load archive: %v", err)
+	}
+
+	if *jobID == "" {
+		fmt.Printf("%d job(s):\n", len(a.Jobs))
+		for _, j := range a.Jobs {
+			fmt.Printf("  %-30s platform=%-12s makespan=%.2fs ops=%d samples=%d\n",
+				j.ID, j.Platform, j.Root.Duration(), countOps(j), len(j.EnvSamples))
+		}
+		return
+	}
+	job := a.Job(*jobID)
+	if job == nil {
+		fatalf("no job %q in archive", *jobID)
+	}
+
+	switch {
+	case *breakdown:
+		b, err := core.DomainBreakdown(job)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(b)
+	case *sel != "":
+		q, err := query.Parse(*sel)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ops := q.Select(job)
+		if len(ops) == 0 {
+			fatalf("no operations match %q", *sel)
+		}
+		printOps(ops, *infos)
+	case *path != "":
+		ops := job.Find(strings.Split(*path, "/")...)
+		if len(ops) == 0 {
+			fatalf("no operations at path %q", *path)
+		}
+		printOps(ops, *infos)
+	case *mission != "":
+		ops := job.FindAll(*mission)
+		if len(ops) == 0 {
+			fatalf("no operations with mission %q", *mission)
+		}
+		printOps(ops, *infos)
+	default:
+		printOps([]*archive.Operation{job.Root}, *infos)
+	}
+}
+
+func countOps(j *archive.Job) int {
+	n := 0
+	j.Root.Walk(func(*archive.Operation) { n++ })
+	return n
+}
+
+func printOps(ops []*archive.Operation, withInfos bool) {
+	for _, op := range ops {
+		fmt.Printf("%-10s %-22s %-22s start=%9.3f dur=%9.3f\n",
+			op.ID, op.Mission, op.Actor, op.Start, op.Duration())
+		if withInfos {
+			printKV("  info   ", op.Infos)
+			printKV("  derived", op.Derived)
+		}
+	}
+}
+
+func printKV(label string, m map[string]string) {
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s %s=%s\n", label, k, m[k])
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

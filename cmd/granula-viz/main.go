@@ -1,0 +1,100 @@
+// Command granula-viz renders visuals from a Granula performance archive:
+// text charts to stdout, or SVG/HTML files with -out.
+//
+// Examples:
+//
+//	granula-viz -archive out/archive.json -job giraph-bfs-dg1000 -chart breakdown
+//	granula-viz -archive out/archive.json -job giraph-bfs-dg1000 -chart cpu
+//	granula-viz -archive out/archive.json -job giraph-bfs-dg1000 -chart gantt -svg fig8.svg
+//	granula-viz -archive out/archive.json -report report.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/archive"
+	"repro/internal/viz"
+)
+
+func main() {
+	archivePath := flag.String("archive", "", "archive JSON path (required)")
+	jobID := flag.String("job", "", "job ID (defaults to the first job)")
+	chart := flag.String("chart", "breakdown", "chart: breakdown, cpu, gantt, tree")
+	svgPath := flag.String("svg", "", "write the chart as SVG to this file instead of text output")
+	reportPath := flag.String("report", "", "write the full HTML report for the whole archive")
+	width := flag.Int("width", 80, "text chart width")
+	flag.Parse()
+
+	if *archivePath == "" {
+		fmt.Fprintln(os.Stderr, "usage: granula-viz -archive <file> [-job <id>] [-chart breakdown|cpu|gantt|tree] [-svg out.svg] [-report out.html]")
+		os.Exit(2)
+	}
+	f, err := os.Open(*archivePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	a, err := archive.Load(f)
+	if err != nil {
+		fatalf("load archive: %v", err)
+	}
+	if *reportPath != "" {
+		if err := os.WriteFile(*reportPath, []byte(viz.HTMLReport(a)), 0o644); err != nil {
+			fatalf("write report: %v", err)
+		}
+		fmt.Printf("report written to %s\n", *reportPath)
+		return
+	}
+	if len(a.Jobs) == 0 {
+		fatalf("archive has no jobs")
+	}
+	job := a.Jobs[0]
+	if *jobID != "" {
+		if job = a.Job(*jobID); job == nil {
+			fatalf("no job %q in archive", *jobID)
+		}
+	}
+
+	if *svgPath != "" {
+		var svg string
+		switch *chart {
+		case "breakdown":
+			svg = viz.SVGBreakdown(job)
+		case "cpu":
+			svg = viz.SVGCPUChart(job)
+		case "gantt":
+			svg = viz.SVGWorkerGantt(job, 1, 0)
+		default:
+			fatalf("chart %q has no SVG form", *chart)
+		}
+		if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
+			fatalf("write svg: %v", err)
+		}
+		fmt.Printf("svg written to %s\n", *svgPath)
+		return
+	}
+
+	switch *chart {
+	case "breakdown":
+		out, err := viz.BreakdownBar(job, *width)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(out)
+	case "cpu":
+		fmt.Print(viz.CPUTimeline(job, 40, *width-30))
+	case "gantt":
+		fmt.Print(viz.WorkerGantt(job, *width, 1, 0))
+	case "tree":
+		fmt.Print(viz.OperationTree(job))
+	default:
+		fatalf("unknown chart %q", *chart)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,161 @@
+// Command granula runs one graph-processing job on a simulated platform
+// under the full Granula pipeline — modeling, monitoring, archiving — and
+// writes the performance archive plus optional visual reports.
+//
+// Example:
+//
+//	granula -platform giraph -algorithm bfs -vertices 50000 -edges 250000 \
+//	        -archive out/archive.json -html out/report.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/archive"
+	"repro/internal/chokepoint"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/platforms"
+	"repro/internal/viz"
+)
+
+func main() {
+	platform := flag.String("platform", "giraph", "platform to run: giraph or powergraph")
+	algorithm := flag.String("algorithm", "bfs", "algorithm: bfs, sssp, pagerank, wcc, cdlp")
+	vertices := flag.Int64("vertices", 50_000, "synthetic graph vertex count")
+	edges := flag.Int64("edges", 250_000, "synthetic graph edge count")
+	kind := flag.String("graph", "social-network", "generator: social-network, rmat, uniform")
+	seed := flag.Int64("seed", 42, "generator seed")
+	scale := flag.Float64("scale", 1, "work scale factor; 0 scales to dg1000 size")
+	source := flag.Int64("source", -1, "source vertex for bfs/sssp; -1 picks a peripheral vertex")
+	iterations := flag.Int("iterations", 10, "iterations for pagerank/cdlp")
+	archivePath := flag.String("archive", "", "write the performance archive JSON here")
+	htmlPath := flag.String("html", "", "write the HTML report here")
+	showTree := flag.Bool("tree", false, "print the full operation tree")
+	chokepoints := flag.Bool("chokepoints", false, "run choke-point analysis on the result")
+	appendTo := flag.Bool("append", false, "append the job to an existing archive file instead of overwriting")
+	flag.Parse()
+
+	var genKind datagen.Kind
+	switch *kind {
+	case "social-network":
+		genKind = datagen.SocialNetwork
+	case "rmat":
+		genKind = datagen.RMAT
+	case "uniform":
+		genKind = datagen.Uniform
+	default:
+		fatalf("unknown graph kind %q", *kind)
+	}
+	cfg := datagen.Config{
+		Kind: genKind, Vertices: *vertices, Edges: *edges, Seed: *seed, Directed: true,
+	}
+	if genKind == datagen.SocialNetwork {
+		base := datagen.DG1000Shaped(*seed)
+		cfg.ZipfS = base.ZipfS
+		cfg.Locality = base.Locality
+		cfg.LocalWindow = base.LocalWindow
+	}
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		fatalf("generate dataset: %v", err)
+	}
+	src := graph.VertexID(*source)
+	if *source < 0 {
+		src = datagen.PeripheralSource(ds.Graph)
+	}
+	fmt.Printf("dataset %s: %d vertices, %d edges (seed %d)\n", ds.Name, ds.Graph.NumVertices(), len(ds.Edges), *seed)
+	fmt.Printf("running %s on %s (source %d, scale %.0f)...\n", *algorithm, *platform, src, *scale)
+
+	out, err := platforms.Run(platforms.Spec{
+		Platform:   *platform,
+		Algorithm:  *algorithm,
+		Source:     src,
+		Iterations: *iterations,
+		Dataset:    ds,
+		WorkScale:  *scale,
+	})
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+
+	fmt.Println()
+	bar, err := viz.BreakdownBar(out.Job, 60)
+	if err != nil {
+		fatalf("breakdown: %v", err)
+	}
+	fmt.Print(bar)
+	fmt.Printf("\nsupersteps/iterations: %d\n", out.Supersteps)
+	if len(out.ModelErrors) == 0 {
+		fmt.Printf("model check: job conforms to the %s performance model\n", out.Model.Platform)
+	} else {
+		fmt.Printf("model check: %d mismatches, first: %v\n", len(out.ModelErrors), out.ModelErrors[0])
+	}
+	if *showTree {
+		fmt.Println()
+		fmt.Print(viz.OperationTree(out.Job))
+	}
+	if *chokepoints {
+		cfg := platforms.DAS5Config()
+		report, err := chokepoint.Analyze(out.Job, chokepoint.Options{
+			CPUCapacity:      float64(cfg.Nodes * cfg.CoresPerNode),
+			DiskCapacity:     cfg.DiskBandwidth,
+			SharedFSCapacity: cfg.SharedFSBandwidth,
+		})
+		if err != nil {
+			fatalf("chokepoint analysis: %v", err)
+		}
+		fmt.Println()
+		fmt.Print(report.Render())
+	}
+
+	a := archive.New()
+	if *appendTo && *archivePath != "" {
+		if f, err := os.Open(*archivePath); err == nil {
+			existing, loadErr := archive.Load(f)
+			f.Close()
+			if loadErr != nil {
+				fatalf("load existing archive: %v", loadErr)
+			}
+			a = existing
+		}
+	}
+	a.Add(out.Job)
+	if *archivePath != "" {
+		if err := writeFile(*archivePath, func(f *os.File) error { return a.Save(f) }); err != nil {
+			fatalf("write archive: %v", err)
+		}
+		fmt.Printf("archive written to %s (%d job(s))\n", *archivePath, len(a.Jobs))
+	}
+	if *htmlPath != "" {
+		if err := os.MkdirAll(filepath.Dir(*htmlPath), 0o755); err != nil {
+			fatalf("write report: %v", err)
+		}
+		if err := os.WriteFile(*htmlPath, []byte(viz.HTMLReport(a)), 0o644); err != nil {
+			fatalf("write report: %v", err)
+		}
+		fmt.Printf("report written to %s\n", *htmlPath)
+	}
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// PowerGraph case study: the paper's diagnosis of PowerGraph's data
+// loading bottleneck (Sections 4.2-4.3) reproduced end to end.
+//
+// The paper's headline finding: on dg1000 over 8 nodes, PowerGraph spends
+// 94.8% of the job in input/output — its loader reads and parses the
+// entire edge list on one node while the other seven idle — even though
+// its actual algorithm execution is faster than Giraph's. This example
+// runs that experiment, then uses the archive to localize the bottleneck
+// down to the implementation level.
+//
+// Run with:
+//
+//	go run ./examples/powergraph-bfs [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/datagen"
+	"repro/internal/platforms"
+	"repro/internal/viz"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller stand-in graph (faster)")
+	flag.Parse()
+
+	cfg := datagen.DG1000Shaped(42)
+	if *quick {
+		cfg.Vertices, cfg.Edges = 20_000, 100_000
+	}
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("running BFS on PowerGraph, dg1000 over 8 nodes...")
+	out, err := platforms.Run(platforms.Spec{
+		Platform:  "PowerGraph",
+		Algorithm: "BFS",
+		Source:    datagen.PeripheralSource(ds.Graph),
+		Dataset:   ds,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The coarse view: where did the 400 seconds go?
+	fmt.Println("\n=== Domain-level decomposition (paper Figure 5, right) ===")
+	fmt.Println()
+	bar, err := viz.BreakdownBar(out.Job, 70)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bar)
+	fmt.Println("  paper reference: input/output 94.8%, processing <3.1%")
+
+	// The environment view: who is actually busy during loading?
+	fmt.Println("\n=== CPU utilization per node (paper Figure 7) ===")
+	fmt.Println()
+	fmt.Print(viz.CPUTimeline(out.Job, 30, 44))
+
+	// Drill down: split LoadGraph into its system-level operations and
+	// show that the sequential phase dominates while finalization is
+	// parallel.
+	fmt.Println("\n=== Implementation-level drill-down of LoadGraph ===")
+	fmt.Println()
+	for _, op := range out.Job.Find("PowergraphJob", "LoadGraph", "SequentialLoad") {
+		fmt.Printf("  %-18s %-20s %8.2fs", op.Mission, op.Actor, op.Duration())
+		if v, ok := op.Derived["LoadThroughput"]; ok {
+			fmt.Printf("  (%s bytes/s)", v)
+		}
+		fmt.Println()
+		// One more level: the chunk pipeline.
+		var read, parse, dist float64
+		for _, c := range op.Children {
+			switch c.Mission {
+			case "ReadEdgeFile":
+				read += c.Duration()
+			case "ParseEdges":
+				parse += c.Duration()
+			case "DistributeEdges":
+				dist += c.Duration()
+			}
+		}
+		fmt.Printf("    read %.2fs + parse %.2fs + distribute %.2fs\n", read, parse, dist)
+	}
+	for _, op := range out.Job.Find("PowergraphJob", "LoadGraph", "FinalizeGraph") {
+		fmt.Printf("  %-18s %-20s %8.2fs\n", op.Mission, op.Actor, op.Duration())
+	}
+
+	// The environment monitor also samples the shared filesystem: its
+	// bytes-per-interval series shows the sequential read stream.
+	_, times, shared := viz.ResourceSeries(out.Job, "disk")
+	if series, ok := shared["sharedfs"]; ok && len(times) > 0 {
+		var total, peak float64
+		for _, v := range series {
+			total += v
+			if v > peak {
+				peak = v
+			}
+		}
+		fmt.Printf("\nshared filesystem: %.1f GB read over the job, peak %.0f MB/s\n",
+			total/1e9, peak/1e6)
+	}
+
+	// The cross-platform conclusion the domain level enables.
+	fmt.Println("\n=== Conclusion ===")
+	b := out.Breakdown
+	fmt.Printf("processing is only %.1f%% of the runtime; %.1f%% is input/output.\n",
+		b.ProcessingPercent(), b.IOPercent())
+	fmt.Println("the sequential, single-node loader is a poor fit for a distributed")
+	fmt.Println("deployment — exactly the paper's diagnosis.")
+	fmt.Printf("(vertex-cut replication factor of this run: %.2f)\n", out.ReplicationFactor)
+}

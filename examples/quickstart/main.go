@@ -1,0 +1,88 @@
+// Quickstart: run one graph-processing job under the complete Granula
+// pipeline and look at the results.
+//
+// This example generates a small synthetic social network, runs BFS on the
+// simulated Giraph platform with the environment monitor attached, and
+// then uses the archive query API and the text visualizers to inspect
+// where the time went — the end-to-end evaluation process of the paper
+// (modeling → monitoring → archiving → visualization).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/datagen"
+	"repro/internal/platforms"
+	"repro/internal/viz"
+)
+
+func main() {
+	// 1. A dataset: 20k vertices, 100k edges, skewed like a social network.
+	ds, err := datagen.Generate(datagen.Config{
+		Kind:     datagen.SocialNetwork,
+		Vertices: 20_000,
+		Edges:    100_000,
+		Seed:     1,
+		Directed: true,
+		Locality: 0.8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d vertices, %d edges, degree skew %.0fx\n\n",
+		ds.Graph.NumVertices(), len(ds.Edges), ds.Graph.OutDegreeStats().Skew)
+
+	// 2. Run BFS on the simulated Giraph deployment (8 nodes). The
+	// platform emits Granula operation logs; the environment monitor
+	// samples per-node CPU; the monitor assembles both into an archive
+	// job annotated with derived metrics.
+	out, err := platforms.Run(platforms.Spec{
+		Platform:  "Giraph",
+		Algorithm: "BFS",
+		Source:    datagen.PeripheralSource(ds.Graph),
+		Dataset:   ds,
+		WorkScale: 50, // pretend the graph is 50x larger
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Domain-level decomposition: the cross-platform Ts/Td/Tp metric.
+	bar, err := viz.BreakdownBar(out.Job, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bar)
+
+	// 4. The model check: the job's operation tree must conform to the
+	// Giraph performance model (Figure 4 of the paper).
+	fmt.Printf("\nmodel check: %d mismatches against the %s model\n",
+		len(out.ModelErrors), out.Model.Platform)
+
+	// 5. Query the archive: how long was each superstep, and how uneven
+	// was the compute across workers?
+	fmt.Println("\nper-superstep durations and compute imbalance:")
+	for _, im := range viz.SuperstepImbalance(out.Job) {
+		fmt.Printf("  superstep %2d: mean compute %6.3fs, imbalance %.2fx\n",
+			im.Superstep, im.Mean, im.Ratio)
+	}
+
+	// 6. Fine-grained drill-down: find the slowest worker-level load
+	// operation through the archive query API.
+	var slowest struct {
+		actor string
+		dur   float64
+	}
+	for _, op := range out.Job.FindAll("LocalLoad") {
+		if op.Duration() > slowest.dur {
+			slowest.actor, slowest.dur = op.Actor, op.Duration()
+		}
+	}
+	fmt.Printf("\nslowest load worker: %s (%.2fs)\n", slowest.actor, slowest.dur)
+	fmt.Printf("total runtime: %.2fs over %d supersteps\n", out.Runtime, out.Supersteps)
+}

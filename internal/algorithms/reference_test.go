@@ -1,0 +1,184 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// graphVertex converts for readability in tests.
+func graphVertex(v int64) graph.VertexID { return graph.VertexID(v) }
+
+func lineGraph(t *testing.T, n int64) *graph.Graph {
+	t.Helper()
+	var edges []graph.Edge
+	for v := int64(0); v+1 < n; v++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID(v + 1)})
+	}
+	g, err := graph.FromEdges(n, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRefBFSLine(t *testing.T) {
+	g := lineGraph(t, 5)
+	dist := RefBFS(g, 0)
+	for v := int64(0); v < 5; v++ {
+		if dist[v] != float64(v) {
+			t.Fatalf("dist = %v", dist)
+		}
+	}
+	// From the tail, everything upstream is unreachable.
+	dist = RefBFS(g, 4)
+	for v := int64(0); v < 4; v++ {
+		if !math.IsInf(dist[v], 1) {
+			t.Fatalf("dist from tail = %v, want Inf upstream", dist)
+		}
+	}
+}
+
+func TestRefSSSPTriangleShortcut(t *testing.T) {
+	// 0->1->2 plus direct 0->2; whichever is shorter by hash weights must
+	// win.
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}}
+	g, err := graph.FromEdges(3, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := RefSSSP(g, 0)
+	viaPath := EdgeWeight(0, 1) + EdgeWeight(1, 2)
+	direct := EdgeWeight(0, 2)
+	want := math.Min(viaPath, direct)
+	if dist[2] != want {
+		t.Fatalf("dist[2] = %v, want %v", dist[2], want)
+	}
+}
+
+func TestRefPageRankUniformOnRegularGraph(t *testing.T) {
+	// Directed cycle: perfectly regular, so ranks stay uniform.
+	n := int64(10)
+	var edges []graph.Edge
+	for v := int64(0); v < n; v++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID((v + 1) % n)})
+	}
+	g, err := graph.FromEdges(n, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := RefPageRank(g, 20, 0.85)
+	for v, r := range ranks {
+		if math.Abs(r-0.1) > 1e-12 {
+			t.Fatalf("rank[%d] = %v, want 0.1", v, r)
+		}
+	}
+}
+
+func TestRefPageRankMassConserved(t *testing.T) {
+	g := lineGraph(t, 6) // vertex 5 is dangling
+	ranks := RefPageRank(g, 15, 0.85)
+	sum := 0.0
+	for _, r := range ranks {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("mass = %v, want 1", sum)
+	}
+}
+
+func TestRefWCCTwoComponents(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 4}}
+	g, err := graph.FromEdges(5, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := RefWCC(g)
+	if label[0] != 0 || label[1] != 0 || label[2] != 0 {
+		t.Fatalf("component A labels = %v", label[:3])
+	}
+	if label[3] != 3 || label[4] != 3 {
+		t.Fatalf("component B labels = %v", label[3:])
+	}
+}
+
+func TestRefCDLPStableOnClique(t *testing.T) {
+	// A 4-clique converges to everyone holding the smallest ID.
+	var edges []graph.Edge
+	for u := int64(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			edges = append(edges, graph.Edge{Src: graph.VertexID(u), Dst: graph.VertexID(v)})
+		}
+	}
+	g, err := graph.FromEdges(4, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := RefCDLP(g, 10)
+	for v, l := range label {
+		if l != 0 {
+			t.Fatalf("label[%d] = %v, want 0", v, l)
+		}
+	}
+}
+
+func TestRefLCCTriangle(t *testing.T) {
+	// Triangle: every vertex has LCC 1. Path: middle vertex has LCC 0.
+	tri, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range RefLCC(tri) {
+		if c != 1 {
+			t.Fatalf("triangle LCC[%d] = %v, want 1", v, c)
+		}
+	}
+	path, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcc := RefLCC(path)
+	if lcc[1] != 0 {
+		t.Fatalf("path LCC[1] = %v, want 0", lcc[1])
+	}
+	if lcc[0] != 0 || lcc[2] != 0 { // degree-1 vertices
+		t.Fatalf("degree-1 LCC = %v, want 0", lcc)
+	}
+}
+
+func TestRefLCCSquareWithDiagonal(t *testing.T) {
+	// Square 0-1-2-3 with diagonal 0-2: vertices 1 and 3 have neighbors
+	// {0,2} which are connected -> LCC 1; vertices 0 and 2 have neighbors
+	// {1,3, other-corner} with 2 of 6 ordered pairs linked -> 2/3... let's
+	// verify the exact value: neighbors of 0 = {1,2,3}; links among them:
+	// 1-2 and 2-3 (each counted both directions) = 4 ordered; LCC = 4/6.
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0}, {Src: 0, Dst: 2}}
+	g, err := graph.FromEdges(4, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcc := RefLCC(g)
+	if math.Abs(lcc[1]-1) > 1e-12 || math.Abs(lcc[3]-1) > 1e-12 {
+		t.Fatalf("LCC = %v, want corners 1 and 3 at 1.0", lcc)
+	}
+	if math.Abs(lcc[0]-4.0/6.0) > 1e-12 || math.Abs(lcc[2]-4.0/6.0) > 1e-12 {
+		t.Fatalf("LCC = %v, want hubs at 2/3", lcc)
+	}
+}
+
+func TestRefEmptyGraphs(t *testing.T) {
+	g, err := graph.FromEdges(0, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RefPageRank(g, 5, 0.85); got != nil {
+		t.Fatalf("PageRank on empty graph = %v", got)
+	}
+	if got := RefWCC(g); len(got) != 0 {
+		t.Fatalf("WCC on empty graph = %v", got)
+	}
+	if got := RefLCC(g); len(got) != 0 {
+		t.Fatalf("LCC on empty graph = %v", got)
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/archive"
+)
+
+func TestBuiltinModelsValidate(t *testing.T) {
+	for _, m := range []*Model{GiraphModel(), PowerGraphModel(), DomainModel("Job")} {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Platform, err)
+		}
+	}
+}
+
+func TestGiraphModelHasFourLevels(t *testing.T) {
+	m := GiraphModel()
+	// The paper's Figure 4 has 4 abstraction levels; in tree form the
+	// implementation level nests once more (Superstep → LocalSuperstep →
+	// PreStep/Compute/Message/PostStep), giving depth 5.
+	if d := m.MaxDepth(); d < 4 {
+		t.Fatalf("depth = %d, want >= 4 (the paper's Figure 4)", d)
+	}
+	// The Figure 4 missions must all be present.
+	for _, mission := range []string{
+		"GiraphJob", "Startup", "LoadGraph", "ProcessGraph", "OffloadGraph", "Cleanup",
+		"JobStartup", "LaunchWorkers", "LocalStartup", "LocalLoad", "LoadHdfsData",
+		"Superstep", "LocalSuperstep", "PreStep", "Compute", "Message", "PostStep",
+		"SyncZookeeper", "LocalOffload", "OffloadHdfsData",
+		"JobCleanup", "AbortWorkers", "ClientCleanup", "ServerCleanup", "ZkCleanup",
+	} {
+		if m.Find(mission) == nil {
+			t.Fatalf("mission %s missing from Giraph model", mission)
+		}
+	}
+}
+
+func TestDomainLevelSharedAcrossModels(t *testing.T) {
+	// The paper's cross-platform comparison requires identical domain
+	// missions in every model.
+	for _, m := range []*Model{GiraphModel(), PowerGraphModel()} {
+		for _, mission := range DomainMissions {
+			spec := m.Find(mission)
+			if spec == nil {
+				t.Fatalf("%s: domain mission %s missing", m.Platform, mission)
+			}
+			if spec.Level != LevelDomain {
+				t.Fatalf("%s: mission %s at level %v, want domain", m.Platform, mission, spec.Level)
+			}
+		}
+	}
+}
+
+func TestModelValidateCatchesBadModels(t *testing.T) {
+	noRoot := &Model{Platform: "x"}
+	if err := noRoot.Validate(); err == nil {
+		t.Fatal("expected error for missing root")
+	}
+	dup := &Model{Platform: "x", Root: &OperationSpec{
+		Mission: "Job", Level: LevelDomain,
+		Children: []*OperationSpec{
+			{Mission: "A", Level: LevelSystem},
+			{Mission: "A", Level: LevelSystem},
+		},
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("expected error for duplicate sibling missions")
+	}
+	coarser := &Model{Platform: "x", Root: &OperationSpec{
+		Mission: "Job", Level: LevelSystem,
+		Children: []*OperationSpec{{Mission: "A", Level: LevelDomain}},
+	}}
+	if err := coarser.Validate(); err == nil {
+		t.Fatal("expected error for child at coarser level")
+	}
+	unnamed := &Model{Platform: "x", Root: &OperationSpec{Level: LevelDomain}}
+	if err := unnamed.Validate(); err == nil {
+		t.Fatal("expected error for unnamed mission")
+	}
+}
+
+func TestMissionsSorted(t *testing.T) {
+	m := GiraphModel()
+	missions := m.Missions()
+	for i := 1; i < len(missions); i++ {
+		if missions[i-1] >= missions[i] {
+			t.Fatalf("missions not sorted: %v", missions)
+		}
+	}
+}
+
+func TestModelFor(t *testing.T) {
+	if ModelFor("Giraph") == nil || ModelFor("giraph") == nil {
+		t.Fatal("Giraph model lookup failed")
+	}
+	if ModelFor("PowerGraph") == nil || ModelFor("powergraph") == nil {
+		t.Fatal("PowerGraph model lookup failed")
+	}
+	if ModelFor("Hadoop") != nil {
+		t.Fatal("unexpected model for Hadoop")
+	}
+}
+
+func TestRenderContainsLevels(t *testing.T) {
+	out := GiraphModel().Render()
+	for _, want := range []string{"GiraphJob", "domain", "system", "implementation", "Superstep", "repeated", "per-actor"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// conformingJob builds a minimal job matching the Giraph model shape.
+func conformingJob() *archive.Job {
+	j := &archive.Job{
+		ID: "j", Platform: "Giraph",
+		Root: &archive.Operation{
+			ID: "1", Mission: "GiraphJob", Actor: "GiraphClient", Start: 0, End: 10,
+			Children: []*archive.Operation{
+				{ID: "2", Mission: "Startup", Actor: "GiraphClient", Start: 0, End: 2},
+				{ID: "3", Mission: "LoadGraph", Actor: "GiraphMaster", Start: 2, End: 4},
+				{ID: "4", Mission: "ProcessGraph", Actor: "GiraphMaster", Start: 4, End: 8,
+					Children: []*archive.Operation{
+						{ID: "5", Mission: "Superstep", Actor: "GiraphMaster", Start: 4, End: 6},
+						{ID: "6", Mission: "Superstep", Actor: "GiraphMaster", Start: 6, End: 8},
+					}},
+				{ID: "7", Mission: "OffloadGraph", Actor: "GiraphMaster", Start: 8, End: 9},
+				{ID: "8", Mission: "Cleanup", Actor: "GiraphClient", Start: 9, End: 10},
+			},
+		},
+	}
+	return j
+}
+
+func TestCheckJobAcceptsConformingJob(t *testing.T) {
+	errs := GiraphModel().CheckJob(conformingJob())
+	if len(errs) != 0 {
+		t.Fatalf("unexpected conformance errors: %v", errs)
+	}
+}
+
+func TestCheckJobFlagsUnmodeledMission(t *testing.T) {
+	j := conformingJob()
+	j.Root.Children = append(j.Root.Children, &archive.Operation{
+		ID: "9", Mission: "Mystery", Actor: "GiraphClient", Start: 9, End: 10,
+	})
+	errs := GiraphModel().CheckJob(j)
+	if len(errs) == 0 {
+		t.Fatal("expected conformance error for unmodeled mission")
+	}
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "Mystery") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("errors do not mention Mystery: %v", errs)
+	}
+}
+
+func TestCheckJobFlagsMissingRequiredChild(t *testing.T) {
+	j := conformingJob()
+	// Remove LoadGraph.
+	j.Root.Children = append(j.Root.Children[:1], j.Root.Children[2:]...)
+	errs := GiraphModel().CheckJob(j)
+	if len(errs) == 0 {
+		t.Fatal("expected conformance error for missing LoadGraph")
+	}
+}
+
+func TestCheckJobFlagsWrongActor(t *testing.T) {
+	j := conformingJob()
+	j.Root.Children[0].Actor = "Imposter"
+	errs := GiraphModel().CheckJob(j)
+	if len(errs) == 0 {
+		t.Fatal("expected conformance error for wrong actor")
+	}
+}
+
+func TestCheckJobFlagsRepeatedNonRepeatable(t *testing.T) {
+	j := conformingJob()
+	j.Root.Children = append(j.Root.Children, &archive.Operation{
+		ID: "10", Mission: "Cleanup", Actor: "GiraphClient", Start: 9.5, End: 10,
+	})
+	errs := GiraphModel().CheckJob(j)
+	if len(errs) == 0 {
+		t.Fatal("expected conformance error for repeated Cleanup")
+	}
+}
+
+func TestCheckJobWrongRoot(t *testing.T) {
+	j := conformingJob()
+	j.Root.Mission = "SomethingElse"
+	errs := GiraphModel().CheckJob(j)
+	if len(errs) == 0 {
+		t.Fatal("expected conformance error for wrong root")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelDomain.String() != "domain" || LevelSystem.String() != "system" ||
+		LevelImplementation.String() != "implementation" {
+		t.Fatal("level names wrong")
+	}
+	if Level(9).String() != "level-9" {
+		t.Fatal("unknown level should stringify")
+	}
+}
+
+func TestDomainBreakdown(t *testing.T) {
+	j := conformingJob()
+	b, err := DomainBreakdown(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total != 10 || b.Setup != 3 || b.IO != 3 || b.Processing != 4 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if b.SetupPercent() != 30 || b.IOPercent() != 30 || b.ProcessingPercent() != 40 {
+		t.Fatalf("percentages = %v %v %v", b.SetupPercent(), b.IOPercent(), b.ProcessingPercent())
+	}
+	if !strings.Contains(b.String(), "total 10.00s") {
+		t.Fatalf("String = %q", b.String())
+	}
+}
+
+func TestDomainBreakdownErrors(t *testing.T) {
+	if _, err := DomainBreakdown(&archive.Job{ID: "x"}); err == nil {
+		t.Fatal("expected error for missing root")
+	}
+	j := conformingJob()
+	j.Root.Children = j.Root.Children[:1] // drop everything after Startup
+	if _, err := DomainBreakdown(j); err == nil {
+		t.Fatal("expected error for missing domain operations")
+	}
+}

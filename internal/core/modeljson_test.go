@@ -1,0 +1,56 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	for _, m := range []*Model{GiraphModel(), PowerGraphModel(), SingleNodeModel(), DomainModel("Job")} {
+		var buf bytes.Buffer
+		if err := m.SaveJSON(&buf); err != nil {
+			t.Fatalf("%s: save: %v", m.Platform, err)
+		}
+		loaded, err := LoadModelJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", m.Platform, err)
+		}
+		if !reflect.DeepEqual(m, loaded) {
+			t.Fatalf("%s: round trip changed the model", m.Platform)
+		}
+		// The reloaded model must behave identically.
+		if loaded.Render() != m.Render() {
+			t.Fatalf("%s: render differs after round trip", m.Platform)
+		}
+	}
+}
+
+func TestLoadModelJSONValidates(t *testing.T) {
+	// A syntactically valid but semantically broken model is rejected.
+	bad := `{"version":1,"platform":"x","root":{"mission":"Job","level":2,
+		"children":[{"mission":"A","level":1}]}}`
+	if _, err := LoadModelJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected validation error for coarser child level")
+	}
+	if _, err := LoadModelJSON(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Fatal("expected version error")
+	}
+	if _, err := LoadModelJSON(strings.NewReader(`{nope`)); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestModelJSONIsStableSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := GiraphModel().SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"version": 1`, `"platform": "Giraph"`, `"mission": "GiraphJob"`, `"level": 1`, `"repeatable": true`, `"perActor": true`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("schema missing %q", want)
+		}
+	}
+}

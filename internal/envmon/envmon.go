@@ -1,0 +1,195 @@
+// Package envmon implements Granula's environment monitor: a sampling
+// process that records per-node resource usage over simulated time. Its
+// output corresponds to the "environment logs" of the Granula evaluation
+// process (P2, Monitoring) and is the data behind the paper's Figures 6
+// and 7 (CPU time per second, per node, mapped onto job operations).
+//
+// Beyond CPU, the monitor also samples each node's local-disk and NIC
+// bytes and the shared filesystem server's bytes (as the pseudo-node
+// "sharedfs"), so analyses can tell compute-bound from I/O-bound
+// operations — the distinction behind the paper's PowerGraph diagnosis.
+package envmon
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Resource kinds recorded by the monitor.
+const (
+	KindCPU  = "cpu"
+	KindDisk = "disk"
+	KindNIC  = "nic"
+)
+
+// SharedFSNode is the pseudo-node name under which shared-filesystem
+// traffic is recorded.
+const SharedFSNode = "sharedfs"
+
+// Sample is one per-node, per-resource measurement over one sampling
+// interval.
+type Sample struct {
+	// Time is the end of the sampling interval, in simulated seconds.
+	Time float64 `json:"time"`
+	// Node is the node name (or "sharedfs").
+	Node string `json:"node"`
+	// Kind is the resource: "cpu", "disk", or "nic".
+	Kind string `json:"kind"`
+	// Used is the amount consumed during the interval: cpu-seconds for
+	// CPU (divided by the interval length this is the paper's "CPU time
+	// / second" metric), bytes for disk and NIC.
+	Used float64 `json:"used"`
+}
+
+// CPUUsed returns Used for CPU samples and 0 otherwise, a convenience for
+// CPU-only consumers.
+func (s Sample) CPUUsed() float64 {
+	if s.Kind == KindCPU {
+		return s.Used
+	}
+	return 0
+}
+
+// Monitor samples a cluster's resources at a fixed simulated interval.
+type Monitor struct {
+	cluster  *cluster.Cluster
+	interval float64
+	samples  []Sample
+	stopped  bool
+	done     *sim.Event
+}
+
+// Start spawns the monitoring process on the cluster's engine, sampling
+// every interval simulated seconds until Stop is called. The first sample
+// covers (start, start+interval].
+func Start(c *cluster.Cluster, interval float64) *Monitor {
+	if interval <= 0 {
+		panic("envmon: interval must be positive")
+	}
+	m := &Monitor{
+		cluster:  c,
+		interval: interval,
+		done:     sim.NewEvent(c.Engine()),
+	}
+	c.Engine().Spawn("envmon", m.run)
+	return m
+}
+
+// gauge is one monitored (node, kind, resource) triple.
+type gauge struct {
+	node string
+	kind string
+	res  *sim.Resource
+	last float64
+}
+
+func (m *Monitor) run(p *sim.Proc) {
+	defer m.done.Fire()
+	var gauges []*gauge
+	for _, n := range m.cluster.Nodes() {
+		gauges = append(gauges,
+			&gauge{node: n.Name, kind: KindCPU, res: n.CPU},
+			&gauge{node: n.Name, kind: KindDisk, res: n.Disk},
+			&gauge{node: n.Name, kind: KindNIC, res: n.NIC},
+		)
+	}
+	gauges = append(gauges, &gauge{node: SharedFSNode, kind: KindDisk, res: m.cluster.SharedFS()})
+	for _, g := range gauges {
+		g.last = g.res.Consumed()
+	}
+	for !m.stopped {
+		p.Sleep(m.interval)
+		t := p.Now()
+		for _, g := range gauges {
+			cur := g.res.Consumed()
+			m.samples = append(m.samples, Sample{
+				Time: t, Node: g.node, Kind: g.kind, Used: cur - g.last,
+			})
+			g.last = cur
+		}
+	}
+}
+
+// Stop makes the monitoring process exit at its next tick. It is safe to
+// call from inside or outside the simulation, and more than once.
+func (m *Monitor) Stop() { m.stopped = true }
+
+// Done returns an event fired when the monitoring process has exited.
+func (m *Monitor) Done() *sim.Event { return m.done }
+
+// Interval returns the sampling interval in simulated seconds.
+func (m *Monitor) Interval() float64 { return m.interval }
+
+// Samples returns all samples recorded so far, in time order (and gauge
+// order within one tick). The returned slice must not be modified.
+func (m *Monitor) Samples() []Sample { return m.samples }
+
+// NodeSeries returns the per-interval series of one resource kind on one
+// node.
+func (m *Monitor) NodeSeries(kind, node string) []float64 {
+	var out []float64
+	for _, s := range m.samples {
+		if s.Node == node && s.Kind == kind {
+			out = append(out, s.Used)
+		}
+	}
+	return out
+}
+
+// Nodes returns the sorted set of node names present in the samples
+// (excluding the shared-FS pseudo-node).
+func (m *Monitor) Nodes() []string {
+	set := map[string]struct{}{}
+	for _, s := range m.samples {
+		if s.Node != SharedFSNode {
+			set[s.Node] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CumulativeSeries returns, for each sampling tick, the total usage of a
+// resource kind summed over all nodes — for CPU, the quantity plotted as
+// the stacked-area envelope in the paper's Figures 6 and 7.
+func (m *Monitor) CumulativeSeries(kind string) (times, totals []float64) {
+	byTime := map[float64]float64{}
+	for _, s := range m.samples {
+		if s.Kind == kind && s.Node != SharedFSNode {
+			byTime[s.Time] += s.Used
+		}
+	}
+	for t := range byTime {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+	for _, t := range times {
+		totals = append(totals, byTime[t])
+	}
+	return times, totals
+}
+
+// PeakCumulative returns the maximum of CumulativeSeries for a kind, or 0
+// with no samples.
+func (m *Monitor) PeakCumulative(kind string) float64 {
+	_, totals := m.CumulativeSeries(kind)
+	peak := 0.0
+	for _, v := range totals {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// String summarizes the monitor state for debugging.
+func (m *Monitor) String() string {
+	return fmt.Sprintf("envmon{interval=%gs samples=%d}", m.interval, len(m.samples))
+}

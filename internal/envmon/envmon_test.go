@@ -1,0 +1,183 @@
+package envmon
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func testCluster(e *sim.Engine) *cluster.Cluster {
+	return cluster.New(e, cluster.Config{
+		Nodes:             2,
+		CoresPerNode:      4,
+		DiskBandwidth:     100,
+		NICBandwidth:      100,
+		SharedFSBandwidth: 100,
+		NodeNamePrefix:    "node",
+		NodeNameStart:     0,
+	})
+}
+
+func TestMonitorSamplesCPU(t *testing.T) {
+	e := sim.NewEngine()
+	c := testCluster(e)
+	m := Start(c, 1.0)
+	e.Spawn("job", func(p *sim.Proc) {
+		// 2 cpu-seconds of single-threaded work on node0: rate 1 for 2s.
+		c.Node(0).Exec(p, 2)
+		m.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	series := m.NodeSeries(KindCPU, "node0")
+	if len(series) < 2 {
+		t.Fatalf("series = %v, want >= 2 samples", series)
+	}
+	if !almostEqual(series[0], 1) || !almostEqual(series[1], 1) {
+		t.Fatalf("node0 series = %v, want [1 1 ...]", series)
+	}
+	idle := m.NodeSeries(KindCPU, "node1")
+	for _, v := range idle {
+		if v != 0 {
+			t.Fatalf("idle node shows CPU usage: %v", idle)
+		}
+	}
+}
+
+func TestMonitorSamplesDiskAndNIC(t *testing.T) {
+	e := sim.NewEngine()
+	c := testCluster(e)
+	m := Start(c, 1.0)
+	e.Spawn("job", func(p *sim.Proc) {
+		c.Node(0).ReadLocal(p, 150)              // 1.5s at 100 B/s
+		c.Transfer(p, c.Node(0), c.Node(1), 100) // sender NIC
+		c.Node(1).ReadShared(p, 100)             // shared FS
+		m.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	disk := m.NodeSeries(KindDisk, "node0")
+	total := 0.0
+	for _, v := range disk {
+		total += v
+	}
+	if !almostEqual(total, 150) {
+		t.Fatalf("node0 disk bytes = %v, want 150", total)
+	}
+	nic := m.NodeSeries(KindNIC, "node0")
+	total = 0
+	for _, v := range nic {
+		total += v
+	}
+	if !almostEqual(total, 100) {
+		t.Fatalf("node0 nic bytes = %v, want 100", total)
+	}
+	shared := m.NodeSeries(KindDisk, SharedFSNode)
+	total = 0
+	for _, v := range shared {
+		total += v
+	}
+	if !almostEqual(total, 100) {
+		t.Fatalf("sharedfs bytes = %v, want 100", total)
+	}
+}
+
+func TestMonitorStopsAfterStop(t *testing.T) {
+	e := sim.NewEngine()
+	c := testCluster(e)
+	m := Start(c, 0.5)
+	e.Spawn("job", func(p *sim.Proc) {
+		p.Sleep(2)
+		m.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Done().Fired() {
+		t.Fatal("monitor did not exit after Stop")
+	}
+	// Monitor exits at next tick after Stop: at most 2.5s of samples.
+	for _, s := range m.Samples() {
+		if s.Time > 2.5+1e-9 {
+			t.Fatalf("sample after stop: %+v", s)
+		}
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestCumulativeSeriesSumsNodes(t *testing.T) {
+	e := sim.NewEngine()
+	c := testCluster(e)
+	m := Start(c, 1.0)
+	e.Spawn("job0", func(p *sim.Proc) { c.Node(0).Exec(p, 3) })
+	e.Spawn("job1", func(p *sim.Proc) { c.Node(1).ExecParallel(p, 6, 2) })
+	e.Spawn("stopper", func(p *sim.Proc) {
+		p.Sleep(4)
+		m.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	times, totals := m.CumulativeSeries(KindCPU)
+	if len(times) == 0 {
+		t.Fatal("no cumulative samples")
+	}
+	// During the first 3 seconds: node0 at 1 cpu/s + node1 at 2 cpu/s.
+	if !almostEqual(totals[0], 3) {
+		t.Fatalf("first total = %v, want 3", totals[0])
+	}
+	if peak := m.PeakCumulative(KindCPU); !almostEqual(peak, 3) {
+		t.Fatalf("peak = %v, want 3", peak)
+	}
+	sum := 0.0
+	for _, v := range totals {
+		sum += v
+	}
+	if !almostEqual(sum, 9) { // total work = 3 + 6 cpu-seconds
+		t.Fatalf("sum of cumulative = %v, want 9", sum)
+	}
+}
+
+func TestNodesSortedAndExcludeSharedFS(t *testing.T) {
+	e := sim.NewEngine()
+	c := testCluster(e)
+	m := Start(c, 1.0)
+	e.Spawn("job", func(p *sim.Proc) {
+		p.Sleep(1.5)
+		m.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	nodes := m.Nodes()
+	if len(nodes) != 2 || nodes[0] != "node0" || nodes[1] != "node1" {
+		t.Fatalf("Nodes = %v, want [node0 node1]", nodes)
+	}
+}
+
+func TestSampleCPUUsedHelper(t *testing.T) {
+	if (Sample{Kind: KindCPU, Used: 3}).CPUUsed() != 3 {
+		t.Fatal("CPU sample helper wrong")
+	}
+	if (Sample{Kind: KindDisk, Used: 3}).CPUUsed() != 0 {
+		t.Fatal("non-CPU sample must report 0 cpu")
+	}
+}
+
+func TestStartPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := sim.NewEngine()
+	Start(testCluster(e), 0)
+}

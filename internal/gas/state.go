@@ -1,0 +1,204 @@
+package gas
+
+import (
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+// state is the shared semantic state of a running GAS job. As with the
+// Pregel engine, the simulation kernel is cooperative, so no locking is
+// needed; the first rank to reach an iteration triggers the (instantaneous
+// in simulated time) semantic computation for that iteration, and all
+// ranks then charge their own measured share of the work.
+type state struct {
+	g  *graph.Graph
+	vc *graph.VertexCut
+	k  int
+
+	// localOut[m][v] / localIn[m][v] are v's out-/in-neighbors along
+	// edges placed on machine m.
+	localOut []map[graph.VertexID][]graph.VertexID
+	localIn  []map[graph.VertexID][]graph.VertexID
+
+	values []float64
+	active []bool
+
+	localArcs    []int64
+	replicaCount []int64
+	masterCount  []int64
+
+	iter     int
+	prepared int // last iteration whose work has been computed; starts -1
+
+	curIterOp trace.OpRef
+
+	// Per-iteration, per-rank counters (valid once prepared == iter).
+	gatherEdges        []int64
+	partialMsgs        [][]int64 // [mirror machine][master machine]
+	applyCount         []int64
+	syncMsgs           [][]int64 // [master machine][mirror machine]
+	scatterEdges       []int64
+	activationsPerRank []int64
+
+	nextActive []bool
+}
+
+func (st *state) resetCounters() {
+	st.prepared = -1
+	st.gatherEdges = make([]int64, st.k)
+	st.applyCount = make([]int64, st.k)
+	st.scatterEdges = make([]int64, st.k)
+	st.activationsPerRank = make([]int64, st.k)
+	st.partialMsgs = make([][]int64, st.k)
+	st.syncMsgs = make([][]int64, st.k)
+	for m := 0; m < st.k; m++ {
+		st.partialMsgs[m] = make([]int64, st.k)
+		st.syncMsgs[m] = make([]int64, st.k)
+	}
+	st.nextActive = make([]bool, st.g.NumVertices())
+}
+
+// ensurePrepared runs the semantic gather/apply/scatter for iteration it
+// exactly once.
+func (st *state) ensurePrepared(prog Program, it int) {
+	if st.prepared >= it {
+		return
+	}
+	if it != st.prepared+1 {
+		// Iterations must be prepared in order; a gap is an engine bug.
+		panic("gas: iterations prepared out of order")
+	}
+	st.prepared = it
+	for m := 0; m < st.k; m++ {
+		st.gatherEdges[m] = 0
+		st.applyCount[m] = 0
+		st.scatterEdges[m] = 0
+		st.activationsPerRank[m] = 0
+		for d := 0; d < st.k; d++ {
+			st.partialMsgs[m][d] = 0
+			st.syncMsgs[m][d] = 0
+		}
+	}
+	for v := range st.nextActive {
+		st.nextActive[v] = false
+	}
+
+	gatherDir := prog.GatherDir()
+	scatterDir := prog.ScatterDir()
+
+	// Collect the active master list in vertex order for determinism.
+	var activeList []graph.VertexID
+	for v := int64(0); v < st.g.NumVertices(); v++ {
+		if st.active[v] {
+			activeList = append(activeList, graph.VertexID(v))
+		}
+	}
+
+	// Gather.
+	accs := make(map[graph.VertexID]float64, len(activeList))
+	for _, v := range activeList {
+		master := st.vc.Master(v)
+		first := true
+		var acc float64
+		for _, m := range st.vc.Replicas(v) {
+			edges := st.gatherNeighbors(gatherDir, m, v)
+			if len(edges) == 0 {
+				continue
+			}
+			st.gatherEdges[m] += int64(len(edges))
+			localFirst := true
+			var partial float64
+			for _, o := range edges {
+				g := prog.Gather(it, v, o, st.values[o])
+				if localFirst {
+					partial = g
+					localFirst = false
+				} else {
+					partial = prog.Sum(partial, g)
+				}
+			}
+			if m != master {
+				st.partialMsgs[m][master]++
+			}
+			if first {
+				acc = partial
+				first = false
+			} else {
+				acc = prog.Sum(acc, partial)
+			}
+		}
+		if !first {
+			accs[v] = acc
+		}
+	}
+
+	// Apply.
+	newValues := make(map[graph.VertexID]float64, len(activeList))
+	for _, v := range activeList {
+		master := st.vc.Master(v)
+		st.applyCount[master]++
+		acc, has := accs[v]
+		nv := prog.Apply(it, v, st.values[v], acc, has)
+		newValues[v] = nv
+		if nv != st.values[v] {
+			for _, m := range st.vc.Replicas(v) {
+				if m != master {
+					st.syncMsgs[master][m]++
+				}
+			}
+		}
+	}
+	for v, nv := range newValues {
+		st.values[v] = nv
+	}
+
+	// Scatter.
+	for _, v := range activeList {
+		for _, m := range st.vc.Replicas(v) {
+			edges := st.gatherNeighbors(scatterDir, m, v)
+			if len(edges) == 0 {
+				continue
+			}
+			st.scatterEdges[m] += int64(len(edges))
+			for _, o := range edges {
+				if prog.Scatter(it, v, o, st.values[v], st.values[o]) && !st.nextActive[o] {
+					st.nextActive[o] = true
+					st.activationsPerRank[st.vc.Master(o)]++
+				}
+			}
+		}
+	}
+	st.active, st.nextActive = st.nextActive, st.active
+}
+
+// gatherNeighbors returns v's neighbors on machine m along the given edge
+// direction.
+func (st *state) gatherNeighbors(dir Direction, m int, v graph.VertexID) []graph.VertexID {
+	switch dir {
+	case In:
+		return st.localIn[m][v]
+	case Out:
+		return st.localOut[m][v]
+	case Both:
+		in := st.localIn[m][v]
+		out := st.localOut[m][v]
+		if len(in) == 0 {
+			return out
+		}
+		if len(out) == 0 {
+			return in
+		}
+		both := make([]graph.VertexID, 0, len(in)+len(out))
+		both = append(both, in...)
+		both = append(both, out...)
+		return both
+	default:
+		return nil
+	}
+}
+
+// finishIteration advances the iteration counter; called once per
+// iteration by rank 0 after all phases complete.
+func (st *state) finishIteration() {
+	st.iter++
+}

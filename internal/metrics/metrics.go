@@ -1,0 +1,220 @@
+// Package metrics implements Granula's derivation rules: the part of the
+// performance model that transforms raw recorded info into performance
+// metrics (paper Section 3.3, P1 item 3). Rules are applied to an
+// archived job and annotate its operations with derived infos, which the
+// visualizer and the experiment harness then read.
+package metrics
+
+import (
+	"strconv"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+)
+
+// Rule derives one metric for an operation. ok is false when the rule
+// does not apply (e.g. missing inputs).
+type Rule interface {
+	// Name is the derived-info key the rule writes.
+	Name() string
+	// Derive computes the value for op within job.
+	Derive(op *archive.Operation, job *archive.Job) (value string, ok bool)
+}
+
+// RuleSet groups rules applied to every operation (Global) and rules
+// applied only to operations with a given mission (PerMission).
+type RuleSet struct {
+	Global     []Rule
+	PerMission map[string][]Rule
+}
+
+// Apply runs the rule set over every operation of the job, writing
+// derived infos in place.
+func (rs *RuleSet) Apply(job *archive.Job) {
+	if job.Root == nil {
+		return
+	}
+	job.Root.Walk(func(op *archive.Operation) {
+		for _, r := range rs.Global {
+			if v, ok := r.Derive(op, job); ok {
+				op.SetDerived(r.Name(), v)
+			}
+		}
+		for _, r := range rs.PerMission[op.Mission] {
+			if v, ok := r.Derive(op, job); ok {
+				op.SetDerived(r.Name(), v)
+			}
+		}
+	})
+}
+
+// Duration derives the operation's wall time in seconds.
+type Duration struct{}
+
+// Name implements Rule.
+func (Duration) Name() string { return "Duration" }
+
+// Derive implements Rule.
+func (Duration) Derive(op *archive.Operation, _ *archive.Job) (string, bool) {
+	return formatFloat(op.Duration()), true
+}
+
+// PercentOfJob derives the operation's share of the job makespan.
+type PercentOfJob struct{}
+
+// Name implements Rule.
+func (PercentOfJob) Name() string { return "PercentOfJob" }
+
+// Derive implements Rule.
+func (PercentOfJob) Derive(op *archive.Operation, job *archive.Job) (string, bool) {
+	total := job.Root.Duration()
+	if total <= 0 {
+		return "", false
+	}
+	return formatFloat(100 * op.Duration() / total), true
+}
+
+// ChildSum sums a recorded info over direct children with a mission.
+type ChildSum struct {
+	// Key is the derived-info name to write.
+	Key string
+	// Mission filters children ("" matches all).
+	Mission string
+	// Info is the recorded info to sum.
+	Info string
+}
+
+// Name implements Rule.
+func (r ChildSum) Name() string { return r.Key }
+
+// Derive implements Rule.
+func (r ChildSum) Derive(op *archive.Operation, _ *archive.Job) (string, bool) {
+	sum := 0.0
+	found := false
+	for _, c := range op.Children {
+		if r.Mission != "" && c.Mission != r.Mission {
+			continue
+		}
+		if raw, ok := c.Infos[r.Info]; ok {
+			v, err := strconv.ParseFloat(raw, 64)
+			if err == nil {
+				sum += v
+				found = true
+			}
+		}
+	}
+	if !found {
+		return "", false
+	}
+	return formatFloat(sum), true
+}
+
+// ChildCount counts direct children with a mission.
+type ChildCount struct {
+	Key     string
+	Mission string
+}
+
+// Name implements Rule.
+func (r ChildCount) Name() string { return r.Key }
+
+// Derive implements Rule.
+func (r ChildCount) Derive(op *archive.Operation, _ *archive.Job) (string, bool) {
+	n := 0
+	for _, c := range op.Children {
+		if r.Mission == "" || c.Mission == r.Mission {
+			n++
+		}
+	}
+	if n == 0 {
+		return "", false
+	}
+	return strconv.Itoa(n), true
+}
+
+// InfoRate derives recorded-info units per second of operation time
+// (e.g. bytes/s from BytesRead).
+type InfoRate struct {
+	Key  string
+	Info string
+}
+
+// Name implements Rule.
+func (r InfoRate) Name() string { return r.Key }
+
+// Derive implements Rule.
+func (r InfoRate) Derive(op *archive.Operation, _ *archive.Job) (string, bool) {
+	raw, ok := op.Infos[r.Info]
+	if !ok || op.Duration() <= 0 {
+		return "", false
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return "", false
+	}
+	return formatFloat(v / op.Duration()), true
+}
+
+// CPUDuring derives the total CPU time (cpu-seconds, all nodes) consumed
+// during the operation's interval, from the job's environment samples —
+// the mapping of resource usage to operations behind Figures 6 and 7.
+type CPUDuring struct{}
+
+// Name implements Rule.
+func (CPUDuring) Name() string { return "CPUSeconds" }
+
+// Derive implements Rule.
+func (CPUDuring) Derive(op *archive.Operation, job *archive.Job) (string, bool) {
+	if len(job.EnvSamples) == 0 {
+		return "", false
+	}
+	total := 0.0
+	for _, s := range job.EnvSamples {
+		// A sample at time t covers (t-interval, t]; attribute it to the
+		// operation containing its end point.
+		if s.IsCPU() && s.Time > op.Start && s.Time <= op.End {
+			total += s.Used
+		}
+	}
+	return formatFloat(total), true
+}
+
+// StandardRules returns the default rule set Granula applies to every
+// archived job.
+func StandardRules() *RuleSet {
+	return &RuleSet{
+		Global: []Rule{Duration{}, PercentOfJob{}, CPUDuring{}},
+		PerMission: map[string][]Rule{
+			"ProcessGraph": {ChildCount{Key: "Supersteps", Mission: "Superstep"}},
+			"Superstep": {
+				ChildCount{Key: "Workers", Mission: "LocalSuperstep"},
+			},
+			"LoadHdfsData":    {InfoRate{Key: "ReadThroughput", Info: "BytesRead"}},
+			"OffloadHdfsData": {InfoRate{Key: "WriteThroughput", Info: "BytesWritten"}},
+			"SequentialLoad":  {InfoRate{Key: "LoadThroughput", Info: "BytesLoaded"}},
+		},
+	}
+}
+
+// AnnotateDomainBreakdown computes the Ts/Td/Tp decomposition and writes
+// it as derived infos on the job root (SetupSeconds, IOSeconds,
+// ProcessingSeconds plus percentages).
+func AnnotateDomainBreakdown(job *archive.Job) (core.Breakdown, error) {
+	b, err := core.DomainBreakdown(job)
+	if err != nil {
+		return b, err
+	}
+	r := job.Root
+	r.SetDerived("TotalSeconds", formatFloat(b.Total))
+	r.SetDerived("SetupSeconds", formatFloat(b.Setup))
+	r.SetDerived("IOSeconds", formatFloat(b.IO))
+	r.SetDerived("ProcessingSeconds", formatFloat(b.Processing))
+	r.SetDerived("SetupPercent", formatFloat(b.SetupPercent()))
+	r.SetDerived("IOPercent", formatFloat(b.IOPercent()))
+	r.SetDerived("ProcessingPercent", formatFloat(b.ProcessingPercent()))
+	return b, nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

@@ -1,0 +1,177 @@
+// Package monitor implements Granula's monitoring sub-process (P2): it
+// takes the two kinds of performance data a job run produces — platform
+// logs (operation records) and environment logs (resource samples) — and
+// assembles them into the operation tree of a performance archive. It
+// also provides Session, the end-to-end harness that runs a job on the
+// simulated cluster with the environment monitor attached and returns the
+// assembled archive job.
+package monitor
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/archive"
+	"repro/internal/cluster"
+	"repro/internal/envmon"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Assemble builds an archive job from platform-log records and
+// environment samples. Records belonging to other jobs are ignored. The
+// records must describe a single rooted tree of completed operations.
+func Assemble(jobID, platform string, records []trace.Record, samples []envmon.Sample) (*archive.Job, error) {
+	type building struct {
+		op      *archive.Operation
+		parent  string
+		started bool
+		ended   bool
+	}
+	ops := map[string]*building{}
+	var order []string
+
+	get := func(id string) *building {
+		b, ok := ops[id]
+		if !ok {
+			b = &building{op: &archive.Operation{ID: id}}
+			ops[id] = b
+			order = append(order, id)
+		}
+		return b
+	}
+
+	for _, r := range records {
+		if r.Job != jobID {
+			continue
+		}
+		switch r.Event {
+		case trace.EventStart:
+			b := get(r.Op)
+			if b.started {
+				return nil, fmt.Errorf("monitor: duplicate start for operation %s", r.Op)
+			}
+			b.started = true
+			b.parent = r.Parent
+			b.op.Actor = r.Actor
+			b.op.Mission = r.Mission
+			b.op.Start = r.Time
+		case trace.EventEnd:
+			b := get(r.Op)
+			if !b.started {
+				return nil, fmt.Errorf("monitor: end before start for operation %s", r.Op)
+			}
+			if b.ended {
+				return nil, fmt.Errorf("monitor: duplicate end for operation %s", r.Op)
+			}
+			b.ended = true
+			b.op.End = r.Time
+		case trace.EventInfo:
+			b := get(r.Op)
+			if !b.started {
+				return nil, fmt.Errorf("monitor: info before start for operation %s", r.Op)
+			}
+			if b.op.Infos == nil {
+				b.op.Infos = map[string]string{}
+			}
+			b.op.Infos[r.Key] = r.Value
+		default:
+			return nil, fmt.Errorf("monitor: unknown event %q", r.Event)
+		}
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("monitor: no records for job %q", jobID)
+	}
+
+	var root *archive.Operation
+	for _, id := range order {
+		b := ops[id]
+		if !b.started {
+			return nil, fmt.Errorf("monitor: operation %s never started", id)
+		}
+		if !b.ended {
+			return nil, fmt.Errorf("monitor: operation %s never ended", id)
+		}
+		if b.parent == "" {
+			if root != nil {
+				return nil, fmt.Errorf("monitor: multiple root operations (%s and %s)", root.ID, id)
+			}
+			root = b.op
+			continue
+		}
+		pb, ok := ops[b.parent]
+		if !ok {
+			return nil, fmt.Errorf("monitor: operation %s references unknown parent %s", id, b.parent)
+		}
+		pb.op.Children = append(pb.op.Children, b.op)
+	}
+	if root == nil {
+		return nil, fmt.Errorf("monitor: no root operation for job %q", jobID)
+	}
+
+	job := &archive.Job{ID: jobID, Platform: platform, Root: root}
+	sort.SliceStable(samples, func(i, k int) bool {
+		if samples[i].Time != samples[k].Time {
+			return samples[i].Time < samples[k].Time
+		}
+		return samples[i].Node < samples[k].Node
+	})
+	for _, s := range samples {
+		job.EnvSamples = append(job.EnvSamples, archive.EnvSample{
+			Time: s.Time, Node: s.Node, Kind: s.Kind, Used: s.Used,
+		})
+	}
+	return job, nil
+}
+
+// Session runs one instrumented job end to end: it starts the environment
+// monitor, executes the job body, serializes the platform log through the
+// text format (exercising the same parse path a real deployment uses),
+// and assembles the archive job.
+type Session struct {
+	// Cluster is the environment to monitor.
+	Cluster *cluster.Cluster
+	// SampleInterval is the environment monitor's period in simulated
+	// seconds (1.0 reproduces the paper's per-second CPU figures).
+	SampleInterval float64
+	// JobID and Platform label the archive job.
+	JobID    string
+	Platform string
+}
+
+// Run executes body as a simulated process with an emitter bound to this
+// session's job, then assembles and returns the archive job. The
+// simulation engine is run to completion; Run must therefore be called
+// with an idle engine.
+func (s *Session) Run(body func(p *sim.Proc, em *trace.Emitter) error) (*archive.Job, error) {
+	if s.SampleInterval <= 0 {
+		s.SampleInterval = 1.0
+	}
+	eng := s.Cluster.Engine()
+	log := trace.NewLog()
+	em := trace.NewEmitter(log, s.JobID, eng.Now)
+	mon := envmon.Start(s.Cluster, s.SampleInterval)
+	var bodyErr error
+	eng.Spawn("granula-session", func(p *sim.Proc) {
+		bodyErr = body(p, em)
+		mon.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("monitor: simulation failed: %w", err)
+	}
+	if bodyErr != nil {
+		return nil, bodyErr
+	}
+	// Round-trip the platform log through its text encoding: platforms
+	// write log files; Granula parses them.
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, log.Records()); err != nil {
+		return nil, fmt.Errorf("monitor: encode platform log: %w", err)
+	}
+	records, err := trace.Parse(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: parse platform log: %w", err)
+	}
+	return Assemble(s.JobID, s.Platform, records, mon.Samples())
+}

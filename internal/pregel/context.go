@@ -1,0 +1,266 @@
+package pregel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Context is the view a vertex program gets of one vertex during one
+// Compute call. It exposes Pregel's full vertex API: value access,
+// messaging, halting, topology, and aggregators.
+type Context struct {
+	js        *jobState
+	worker    int
+	vertex    graph.VertexID
+	superstep int
+}
+
+// ID returns the vertex ID.
+func (c *Context) ID() graph.VertexID { return c.vertex }
+
+// Superstep returns the current superstep number, starting at 0.
+func (c *Context) Superstep() int { return c.superstep }
+
+// NumVertices returns the graph's vertex count.
+func (c *Context) NumVertices() int64 { return c.js.g.NumVertices() }
+
+// NumEdges returns the graph's arc count.
+func (c *Context) NumEdges() int64 { return c.js.g.NumArcs() }
+
+// Value returns the vertex's current value.
+func (c *Context) Value() float64 { return c.js.values[c.vertex] }
+
+// SetValue replaces the vertex's value.
+func (c *Context) SetValue(v float64) { c.js.values[c.vertex] = v }
+
+// OutDegree returns the vertex's out-degree.
+func (c *Context) OutDegree() int64 { return c.js.g.OutDegree(c.vertex) }
+
+// OutNeighbors returns the vertex's out-neighbors; the slice must not be
+// modified.
+func (c *Context) OutNeighbors() []graph.VertexID {
+	return c.js.g.OutNeighbors(c.vertex)
+}
+
+// SendTo sends msg to vertex dst, delivered in the next superstep.
+func (c *Context) SendTo(dst graph.VertexID, msg float64) {
+	c.js.send(c.worker, dst, msg)
+}
+
+// SendToAllNeighbors sends msg along every out-edge.
+func (c *Context) SendToAllNeighbors(msg float64) {
+	for _, dst := range c.js.g.OutNeighbors(c.vertex) {
+		c.js.send(c.worker, dst, msg)
+	}
+}
+
+// VoteToHalt deactivates the vertex; an incoming message reactivates it.
+func (c *Context) VoteToHalt() { c.js.halted[c.vertex] = true }
+
+// Aggregate contributes v to the named aggregator for the next superstep.
+// Aggregators are commutative reductions; the operator is fixed at
+// registration time via RegisterAggregator on the job config... registered
+// implicitly on first use with a sum semantics unless declared.
+func (c *Context) Aggregate(name string, v float64) {
+	c.js.aggregateNext(name, v)
+}
+
+// AggregatedValue returns the named aggregator's value from the previous
+// superstep, or 0 if absent.
+func (c *Context) AggregatedValue(name string) float64 {
+	return c.js.aggCur[name]
+}
+
+// jobState is the shared in-memory state of a running job. The simulation
+// kernel is cooperative (one process at a time), so no locking is needed;
+// BSP double-buffering keeps superstep semantics exact.
+type jobState struct {
+	g      *graph.Graph
+	owner  []int // vertex -> worker
+	values []float64
+	halted []bool
+
+	// inboxCur is read during the current superstep; message delivery
+	// appends to inboxNext.
+	inboxCur  [][]float64
+	inboxNext [][]float64
+
+	combiner Combiner
+	// lastSender tags, per destination vertex, the (worker, superstep)
+	// that last combined into inboxNext[v], so combined wire messages can
+	// be counted per sending worker.
+	lastSenderWorker []int
+	lastSenderStep   []int
+	superstep        int
+
+	aggCur, aggNext map[string]float64
+
+	// Per-superstep, per-worker work counters, reset each superstep.
+	vertexCount  []int64   // Compute invocations
+	sendCount    []int64   // messages passed to send (pre-combining)
+	wireCount    [][]int64 // [from][toWorker] combined messages
+	deliveredCnt int64     // messages delivered into inboxNext this superstep
+
+	totalWireMessages int64
+}
+
+func newJobState(g *graph.Graph, part graph.Partitioner, workers int, combiner Combiner) *jobState {
+	n := g.NumVertices()
+	js := &jobState{
+		g:                g,
+		owner:            make([]int, n),
+		values:           make([]float64, n),
+		halted:           make([]bool, n),
+		inboxCur:         make([][]float64, n),
+		inboxNext:        make([][]float64, n),
+		combiner:         combiner,
+		lastSenderWorker: make([]int, n),
+		lastSenderStep:   make([]int, n),
+		aggCur:           map[string]float64{},
+		aggNext:          map[string]float64{},
+		vertexCount:      make([]int64, workers),
+		sendCount:        make([]int64, workers),
+		wireCount:        make([][]int64, workers),
+	}
+	for i := range js.lastSenderStep {
+		js.lastSenderStep[i] = -1
+		js.lastSenderWorker[i] = -1
+	}
+	for w := 0; w < workers; w++ {
+		js.wireCount[w] = make([]int64, workers)
+	}
+	for v := int64(0); v < n; v++ {
+		js.owner[v] = part.Partition(graph.VertexID(v))
+	}
+	for v := range js.values {
+		js.values[v] = math.Inf(1)
+	}
+	return js
+}
+
+// send delivers a message from a vertex on worker from to vertex dst,
+// applying sender-side combining when a combiner is configured.
+func (js *jobState) send(from int, dst graph.VertexID, msg float64) {
+	if dst < 0 || int64(dst) >= js.g.NumVertices() {
+		panic(fmt.Sprintf("pregel: message to unknown vertex %d", dst))
+	}
+	js.sendCount[from]++
+	toWorker := js.owner[dst]
+	if js.combiner != nil {
+		// Within one superstep, all of worker `from`'s messages to dst are
+		// contiguous, so a change of (worker, superstep) tag marks a new
+		// combined wire message.
+		if js.lastSenderWorker[dst] == from && js.lastSenderStep[dst] == js.superstep {
+			last := len(js.inboxNext[dst]) - 1
+			js.inboxNext[dst][last] = js.combiner.Combine(js.inboxNext[dst][last], msg)
+			return
+		}
+		js.lastSenderWorker[dst] = from
+		js.lastSenderStep[dst] = js.superstep
+	}
+	js.inboxNext[dst] = append(js.inboxNext[dst], msg)
+	js.wireCount[from][toWorker]++
+	js.deliveredCnt++
+	js.totalWireMessages++
+}
+
+// aggregateNext adds v into the named aggregator for the next superstep.
+func (js *jobState) aggregateNext(name string, v float64) {
+	js.aggNext[name] += v
+}
+
+// stateSnapshot is a checkpoint of the BSP state taken before a superstep
+// executes, sufficient to replay the computation from that superstep.
+type stateSnapshot struct {
+	values    []float64
+	halted    []bool
+	inboxCur  [][]float64
+	aggCur    map[string]float64
+	superstep int
+}
+
+// snapshot deep-copies the restartable state.
+func (js *jobState) snapshot() *stateSnapshot {
+	s := &stateSnapshot{
+		values:    append([]float64(nil), js.values...),
+		halted:    append([]bool(nil), js.halted...),
+		inboxCur:  make([][]float64, len(js.inboxCur)),
+		aggCur:    map[string]float64{},
+		superstep: js.superstep,
+	}
+	for v, msgs := range js.inboxCur {
+		if len(msgs) > 0 {
+			s.inboxCur[v] = append([]float64(nil), msgs...)
+		}
+	}
+	for k, v := range js.aggCur {
+		s.aggCur[k] = v
+	}
+	return s
+}
+
+// restore rolls the BSP state back to a snapshot, discarding everything
+// computed since: values, halt flags, pending messages, aggregators, and
+// in-flight next-superstep buffers.
+func (js *jobState) restore(s *stateSnapshot) {
+	copy(js.values, s.values)
+	copy(js.halted, s.halted)
+	for v := range js.inboxCur {
+		js.inboxCur[v] = js.inboxCur[v][:0]
+		js.inboxCur[v] = append(js.inboxCur[v], s.inboxCur[v]...)
+		js.inboxNext[v] = js.inboxNext[v][:0]
+	}
+	js.aggCur = map[string]float64{}
+	for k, v := range s.aggCur {
+		js.aggCur[k] = v
+	}
+	for k := range js.aggNext {
+		delete(js.aggNext, k)
+	}
+	for v := range js.lastSenderStep {
+		js.lastSenderStep[v] = -1
+		js.lastSenderWorker[v] = -1
+	}
+	for w := range js.vertexCount {
+		js.vertexCount[w] = 0
+		js.sendCount[w] = 0
+		for d := range js.wireCount[w] {
+			js.wireCount[w][d] = 0
+		}
+	}
+	js.deliveredCnt = 0
+	js.superstep = s.superstep
+}
+
+// swapBuffers advances BSP state at the superstep barrier: next-inboxes
+// become current, aggregators rotate, per-superstep counters reset. It
+// returns the number of messages that will be delivered and the number of
+// vertices that remain active.
+func (js *jobState) swapBuffers() (delivered int64, active int64) {
+	delivered = js.deliveredCnt
+	js.inboxCur, js.inboxNext = js.inboxNext, js.inboxCur
+	for v := range js.inboxNext {
+		js.inboxNext[v] = js.inboxNext[v][:0]
+	}
+	js.aggCur, js.aggNext = js.aggNext, js.aggCur
+	for k := range js.aggNext {
+		delete(js.aggNext, k)
+	}
+	for v := range js.halted {
+		if !js.halted[v] {
+			active++
+		}
+	}
+	for w := range js.vertexCount {
+		js.vertexCount[w] = 0
+		js.sendCount[w] = 0
+		for d := range js.wireCount[w] {
+			js.wireCount[w][d] = 0
+		}
+	}
+	js.deliveredCnt = 0
+	js.superstep++
+	return delivered, active
+}

@@ -1,0 +1,58 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/archive"
+)
+
+// TestParseNeverPanicsProperty feeds the parser random byte soup and
+// random near-grammatical strings: it must return an error or a query,
+// never panic, and any query it returns must Select without panicking.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	job := &archive.Job{
+		ID: "f",
+		Root: &archive.Operation{
+			ID: "r", Mission: "Job", Start: 0, End: 10,
+			Children: []*archive.Operation{
+				{ID: "a", Mission: "A", Actor: "x", Start: 0, End: 5,
+					Infos: map[string]string{"K": "1"}},
+			},
+		},
+	}
+	words := []string{
+		"mission", "actor", "duration", "depth", "info.K", "derived.D",
+		"=", "!=", "~", ">", ">=", "<", "<=", "and", "or", "not", "(", ")",
+		"order", "by", "limit", "asc", "desc", "Compute", "1.5", `"quo ted"`,
+		"bogus", "", "==", "<>",
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var input string
+		if rng.Intn(2) == 0 {
+			// Random word salad from the token vocabulary.
+			n := rng.Intn(12)
+			for i := 0; i < n; i++ {
+				input += words[rng.Intn(len(words))] + " "
+			}
+		} else {
+			// Random bytes.
+			b := make([]byte, rng.Intn(40))
+			for i := range b {
+				b[i] = byte(rng.Intn(128))
+			}
+			input = string(b)
+		}
+		q, err := Parse(input)
+		if err != nil {
+			return true
+		}
+		_ = q.Select(job)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/archive"
+)
+
+func testJob() *archive.Job {
+	return &archive.Job{
+		ID: "q",
+		Root: &archive.Operation{
+			ID: "r", Mission: "Job", Actor: "Client", Start: 0, End: 20,
+			Children: []*archive.Operation{
+				{ID: "a", Mission: "LoadGraph", Actor: "Master", Start: 0, End: 8,
+					Infos: map[string]string{"Bytes": "1000"},
+					Children: []*archive.Operation{
+						{ID: "a1", Mission: "LocalLoad", Actor: "Worker-0", Start: 0, End: 7},
+						{ID: "a2", Mission: "LocalLoad", Actor: "Worker-1", Start: 0, End: 8},
+					}},
+				{ID: "b", Mission: "ProcessGraph", Actor: "Master", Start: 8, End: 18,
+					Children: []*archive.Operation{
+						{ID: "b1", Mission: "Compute", Actor: "Worker-0", Start: 8, End: 12,
+							Infos: map[string]string{"Vertices": "500"}},
+						{ID: "b2", Mission: "Compute", Actor: "Worker-1", Start: 8, End: 18,
+							Infos:   map[string]string{"Vertices": "1500"},
+							Derived: map[string]string{"PercentOfJob": "50"}},
+					}},
+				{ID: "c", Mission: "Cleanup", Actor: "Client", Start: 18, End: 20},
+			},
+		},
+	}
+}
+
+func ids(ops []*archive.Operation) []string {
+	var out []string
+	for _, op := range ops {
+		out = append(out, op.ID)
+	}
+	return out
+}
+
+func selectIDs(t *testing.T, q string) []string {
+	t.Helper()
+	parsed, err := Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return ids(parsed.Select(testJob()))
+}
+
+func eq(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSimplePredicates(t *testing.T) {
+	eq(t, selectIDs(t, `mission = Compute`), []string{"b1", "b2"})
+	eq(t, selectIDs(t, `actor = Worker-1`), []string{"a2", "b2"})
+	eq(t, selectIDs(t, `actor ~ Worker`), []string{"a1", "a2", "b1", "b2"})
+	eq(t, selectIDs(t, `duration > 9`), []string{"r", "b", "b2"})
+	eq(t, selectIDs(t, `start >= 18`), []string{"c"})
+	eq(t, selectIDs(t, `depth = 0`), []string{"r"})
+	eq(t, selectIDs(t, `id = b1`), []string{"b1"})
+	eq(t, selectIDs(t, `end <= 8`), []string{"a", "a1", "a2"})
+}
+
+func TestInfoAndDerivedFields(t *testing.T) {
+	eq(t, selectIDs(t, `info.Vertices >= 1000`), []string{"b2"})
+	eq(t, selectIDs(t, `info.Bytes = 1000`), []string{"a"})
+	eq(t, selectIDs(t, `derived.PercentOfJob > 10`), []string{"b2"})
+	// Missing keys never match.
+	eq(t, selectIDs(t, `info.Nope = 1`), nil)
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	eq(t, selectIDs(t, `mission = Compute and duration > 5`), []string{"b2"})
+	eq(t, selectIDs(t, `mission = Cleanup or mission = LoadGraph`), []string{"a", "c"})
+	eq(t, selectIDs(t, `not mission = Compute and depth = 2`), []string{"a1", "a2"})
+	eq(t, selectIDs(t, `(mission = Compute or mission = LocalLoad) and actor = Worker-0`),
+		[]string{"a1", "b1"})
+	eq(t, selectIDs(t, `mission != Job and depth < 2`), []string{"a", "b", "c"})
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	eq(t, selectIDs(t, `mission ~ o and depth > 0 order by duration desc limit 3`),
+		[]string{"b", "b2", "a"})
+	eq(t, selectIDs(t, `depth = 2 order by duration asc`),
+		[]string{"b1", "a1", "a2", "b2"})
+	eq(t, selectIDs(t, `depth = 2 order by actor desc limit 2`),
+		[]string{"a2", "b2"})
+	eq(t, selectIDs(t, `limit 2`), []string{"r", "a"})
+}
+
+func TestEmptyQueryMatchesEverything(t *testing.T) {
+	got := selectIDs(t, `order by start`)
+	if len(got) != 8 {
+		t.Fatalf("got %d ops, want 8", len(got))
+	}
+}
+
+func TestQuotedValues(t *testing.T) {
+	eq(t, selectIDs(t, `actor = "Worker-1"`), []string{"a2", "b2"})
+	eq(t, selectIDs(t, `mission ~ "Gr"`), []string{"a", "b"})
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`mission =`,                // missing value
+		`mission`,                  // missing operator
+		`bogusfield = 1`,           // unknown field
+		`mission == Compute extra`, // trailing junk... actually == parses as = then =; see below
+		`(mission = Compute`,       // missing paren
+		`mission = "unterminated`,  // bad string
+		`order by`,                 // missing field
+		`limit abc`,                // bad limit
+		`limit -1`,                 // negative limit... lexes as token "-1"? Atoi parses -1, n<0 rejected
+		`mission ? x`,              // bad operator
+		`"mission" = x`,            // quoted field
+		`and mission = x`,          // dangling combinator
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("expected parse error for %q", q)
+		}
+	}
+}
+
+func TestSelectOnEmptyJob(t *testing.T) {
+	q, err := Parse(`mission = X`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Select(&archive.Job{ID: "empty"}); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestNumericVsStringComparison(t *testing.T) {
+	// "1000" as number: 1000 > 200 numerically, but "1000" < "200"
+	// lexically — the numeric path must win when both parse.
+	eq(t, selectIDs(t, `info.Bytes > 200`), []string{"a"})
+	// String comparison for non-numeric values.
+	eq(t, selectIDs(t, `mission > ProcessGraph and depth = 1`), nil)
+}

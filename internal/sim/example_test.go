@@ -1,0 +1,50 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Two processes share a 2-core CPU: the first runs alone at full speed,
+// then both share fairly.
+func Example() {
+	eng := sim.NewEngine()
+	cpu := sim.NewResource(eng, "cpu", 2, 1)
+	eng.Spawn("first", func(p *sim.Proc) {
+		cpu.Use(p, 3) // 3 cpu-seconds at rate <= 1
+		fmt.Printf("first done at t=%.1f\n", p.Now())
+	})
+	eng.Spawn("second", func(p *sim.Proc) {
+		p.Sleep(1)
+		cpu.Use(p, 2)
+		fmt.Printf("second done at t=%.1f\n", p.Now())
+	})
+	if err := eng.Run(); err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// first done at t=3.0
+	// second done at t=3.0
+}
+
+// A barrier synchronizes staggered processes.
+func ExampleBarrier() {
+	eng := sim.NewEngine()
+	barrier := sim.NewBarrier(eng, 2)
+	for i := 0; i < 2; i++ {
+		delay := float64(i + 1)
+		name := fmt.Sprintf("p%d", i)
+		eng.Spawn(name, func(p *sim.Proc) {
+			p.Sleep(delay)
+			barrier.Await(p)
+			fmt.Printf("%s passed the barrier at t=%.0f\n", name, p.Now())
+		})
+	}
+	if err := eng.Run(); err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// p1 passed the barrier at t=2
+	// p0 passed the barrier at t=2
+}

@@ -1,0 +1,186 @@
+package single
+
+import (
+	"math"
+
+	"repro/internal/algorithms"
+	"repro/internal/graph"
+)
+
+// This file provides the algorithm kernels for the single-node platform.
+// Each executes for real and reports per-iteration work; outputs match the
+// sequential references in internal/algorithms exactly.
+
+// BFSKernel is level-synchronous breadth-first search.
+type BFSKernel struct {
+	Source graph.VertexID
+}
+
+// Name implements Kernel.
+func (BFSKernel) Name() string { return "BFS" }
+
+// Run implements Kernel.
+func (k BFSKernel) Run(g *graph.Graph) ([]float64, []IterWork) {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	var iters []IterWork
+	if n == 0 {
+		return dist, iters
+	}
+	dist[k.Source] = 0
+	frontier := []graph.VertexID{k.Source}
+	for len(frontier) > 0 {
+		work := IterWork{Vertices: int64(len(frontier))}
+		var next []graph.VertexID
+		for _, v := range frontier {
+			for _, w := range g.OutNeighbors(v) {
+				work.Edges++
+				if math.IsInf(dist[w], 1) {
+					dist[w] = dist[v] + 1
+					next = append(next, w)
+				}
+			}
+		}
+		iters = append(iters, work)
+		frontier = next
+	}
+	return dist, iters
+}
+
+// SSSPKernel is round-synchronous Bellman-Ford with the shared EdgeWeight
+// weights; results match algorithms.RefSSSP.
+type SSSPKernel struct {
+	Source graph.VertexID
+}
+
+// Name implements Kernel.
+func (SSSPKernel) Name() string { return "SSSP" }
+
+// Run implements Kernel.
+func (k SSSPKernel) Run(g *graph.Graph) ([]float64, []IterWork) {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	var iters []IterWork
+	if n == 0 {
+		return dist, iters
+	}
+	dist[k.Source] = 0
+	active := map[graph.VertexID]bool{k.Source: true}
+	for len(active) > 0 {
+		work := IterWork{Vertices: int64(len(active))}
+		next := map[graph.VertexID]bool{}
+		// Deterministic order: scan vertices ascending.
+		for v := int64(0); v < n; v++ {
+			if !active[graph.VertexID(v)] {
+				continue
+			}
+			for _, w := range g.OutNeighbors(graph.VertexID(v)) {
+				work.Edges++
+				nd := dist[v] + algorithms.EdgeWeight(graph.VertexID(v), w)
+				if nd < dist[w] {
+					dist[w] = nd
+					next[w] = true
+				}
+			}
+		}
+		iters = append(iters, work)
+		active = next
+	}
+	return dist, iters
+}
+
+// PageRankKernel runs fixed-iteration PageRank with dangling-mass
+// redistribution; results match algorithms.RefPageRank.
+type PageRankKernel struct {
+	Iterations int
+	Damping    float64
+}
+
+// Name implements Kernel.
+func (PageRankKernel) Name() string { return "PageRank" }
+
+// Run implements Kernel.
+func (k PageRankKernel) Run(g *graph.Graph) ([]float64, []IterWork) {
+	values := algorithms.RefPageRank(g, k.Iterations, k.Damping)
+	iters := make([]IterWork, k.Iterations)
+	for i := range iters {
+		iters[i] = IterWork{Vertices: g.NumVertices(), Edges: g.NumArcs()}
+	}
+	return values, iters
+}
+
+// WCCKernel is synchronous min-label propagation; results match
+// algorithms.RefWCC.
+type WCCKernel struct{}
+
+// Name implements Kernel.
+func (WCCKernel) Name() string { return "WCC" }
+
+// Run implements Kernel.
+func (WCCKernel) Run(g *graph.Graph) ([]float64, []IterWork) {
+	n := g.NumVertices()
+	label := make([]float64, n)
+	for v := int64(0); v < n; v++ {
+		label[v] = float64(v)
+	}
+	var iters []IterWork
+	changed := true
+	for changed {
+		changed = false
+		work := IterWork{Vertices: n, Edges: g.NumArcs()}
+		for v := int64(0); v < n; v++ {
+			for _, w := range g.OutNeighbors(graph.VertexID(v)) {
+				if label[v] < label[w] {
+					label[w] = label[v]
+					changed = true
+				}
+			}
+		}
+		iters = append(iters, work)
+	}
+	return label, iters
+}
+
+// LCCKernel computes local clustering coefficients (the one Graphalytics
+// algorithm the distributed engines here do not run; see README). Work is
+// the sum over vertices of neighborhood-pair probes.
+type LCCKernel struct{}
+
+// Name implements Kernel.
+func (LCCKernel) Name() string { return "LCC" }
+
+// Run implements Kernel.
+func (LCCKernel) Run(g *graph.Graph) ([]float64, []IterWork) {
+	values := algorithms.RefLCC(g)
+	var probes int64
+	for v := int64(0); v < g.NumVertices(); v++ {
+		d := g.OutDegree(graph.VertexID(v)) + g.InDegree(graph.VertexID(v))
+		probes += d * d
+	}
+	return values, []IterWork{{Vertices: g.NumVertices(), Edges: probes}}
+}
+
+// CDLPKernel is fixed-iteration label propagation; results match
+// algorithms.RefCDLP.
+type CDLPKernel struct {
+	Iterations int
+}
+
+// Name implements Kernel.
+func (CDLPKernel) Name() string { return "CDLP" }
+
+// Run implements Kernel.
+func (k CDLPKernel) Run(g *graph.Graph) ([]float64, []IterWork) {
+	values := algorithms.RefCDLP(g, k.Iterations)
+	iters := make([]IterWork, k.Iterations)
+	for i := range iters {
+		iters[i] = IterWork{Vertices: g.NumVertices(), Edges: g.NumArcs()}
+	}
+	return values, iters
+}

@@ -1,0 +1,52 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// A platform instruments one operation with a nested child, then the log
+// is serialized and parsed back — the path every monitored job takes.
+func ExampleEmitter() {
+	clock := 0.0
+	log := trace.NewLog()
+	em := trace.NewEmitter(log, "job-1", func() float64 { return clock })
+
+	job := em.Start(trace.Root, "Client", "Job")
+	clock = 1
+	load := em.Start(job, "Worker-0", "LoadGraph")
+	em.Info(load, "Bytes", "4096")
+	clock = 3
+	em.End(load)
+	clock = 4
+	em.End(job)
+
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, log.Records()); err != nil {
+		fmt.Println("encode error:", err)
+		return
+	}
+	records, err := trace.Parse(&buf)
+	if err != nil {
+		fmt.Println("parse error:", err)
+		return
+	}
+	for _, r := range records {
+		switch r.Event {
+		case trace.EventStart:
+			fmt.Printf("start %s (%s) at t=%.0f\n", r.Mission, r.Actor, r.Time)
+		case trace.EventInfo:
+			fmt.Printf("info  %s=%s\n", r.Key, r.Value)
+		case trace.EventEnd:
+			fmt.Printf("end   %s at t=%.0f\n", r.Op, r.Time)
+		}
+	}
+	// Output:
+	// start Job (Client) at t=0
+	// start LoadGraph (Worker-0) at t=1
+	// info  Bytes=4096
+	// end   op-000002 at t=3
+	// end   op-000001 at t=4
+}

@@ -1,0 +1,323 @@
+// Package trace is the platform-log substrate shared by the simulated
+// graph-processing platforms. Platforms emit structured operation records
+// — start/end events annotated with an actor and a mission, plus free-form
+// info records — into a Log. Granula's monitor (internal/monitor) parses
+// these logs and assembles them into the operation tree defined by a
+// performance model, exactly as the real Granula parses Giraph's log4j
+// output.
+//
+// Records have a stable line-oriented text encoding so that the full
+// pipeline (platform writes logs, monitor parses them) is exercised rather
+// than short-circuited through shared memory.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EventType distinguishes record kinds.
+type EventType string
+
+// Record event kinds.
+const (
+	EventStart EventType = "start"
+	EventEnd   EventType = "end"
+	EventInfo  EventType = "info"
+)
+
+// Record is one platform-log line.
+type Record struct {
+	// Time is the simulated timestamp in seconds.
+	Time float64
+	// Job identifies the job run.
+	Job string
+	// Op is the operation's unique ID within the job.
+	Op string
+	// Parent is the parent operation's ID; empty for the root operation.
+	// Only meaningful on start records.
+	Parent string
+	// Actor names who performs the operation (e.g. "GiraphWorker-3").
+	// Only meaningful on start records.
+	Actor string
+	// Mission names what is being done (e.g. "Compute"). Only meaningful
+	// on start records.
+	Mission string
+	// Event is the record kind.
+	Event EventType
+	// Key/Value carry one info pair on info records.
+	Key   string
+	Value string
+}
+
+// Log is an append-only record sink.
+type Log struct {
+	records []Record
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Append adds a record.
+func (l *Log) Append(r Record) { l.records = append(l.records, r) }
+
+// Records returns all records in append order. The slice must not be
+// modified.
+func (l *Log) Records() []Record { return l.records }
+
+// Len returns the number of records.
+func (l *Log) Len() int { return len(l.records) }
+
+// OpRef identifies a started operation for an Emitter's End/Info calls.
+type OpRef struct {
+	id string
+}
+
+// ID returns the operation ID.
+func (o OpRef) ID() string { return o.id }
+
+// Valid reports whether the reference identifies an operation.
+func (o OpRef) Valid() bool { return o.id != "" }
+
+// Root is the OpRef used as the parent of a job's top-level operation.
+var Root = OpRef{}
+
+// Emitter provides platforms with a convenient instrumentation API on top
+// of a Log. Operation IDs are deterministic sequence numbers within the
+// job, keeping archives byte-stable across runs.
+type Emitter struct {
+	log *Log
+	job string
+	now func() float64
+	seq int
+}
+
+// NewEmitter creates an emitter for one job. now supplies the current
+// simulated time.
+func NewEmitter(log *Log, job string, now func() float64) *Emitter {
+	if log == nil || now == nil {
+		panic("trace: nil log or clock")
+	}
+	return &Emitter{log: log, job: job, now: now}
+}
+
+// Job returns the job ID the emitter writes under.
+func (e *Emitter) Job() string { return e.job }
+
+// Start emits a start record for a new operation under parent and returns
+// its reference.
+func (e *Emitter) Start(parent OpRef, actor, mission string) OpRef {
+	e.seq++
+	op := OpRef{id: fmt.Sprintf("op-%06d", e.seq)}
+	e.log.Append(Record{
+		Time:    e.now(),
+		Job:     e.job,
+		Op:      op.id,
+		Parent:  parent.id,
+		Actor:   actor,
+		Mission: mission,
+		Event:   EventStart,
+	})
+	return op
+}
+
+// End emits the end record for op.
+func (e *Emitter) End(op OpRef) {
+	if !op.Valid() {
+		panic("trace: End of invalid OpRef")
+	}
+	e.log.Append(Record{
+		Time:  e.now(),
+		Job:   e.job,
+		Op:    op.id,
+		Event: EventEnd,
+	})
+}
+
+// Info attaches a key/value observation to op.
+func (e *Emitter) Info(op OpRef, key, value string) {
+	if !op.Valid() {
+		panic("trace: Info on invalid OpRef")
+	}
+	e.log.Append(Record{
+		Time:  e.now(),
+		Job:   e.job,
+		Op:    op.id,
+		Event: EventInfo,
+		Key:   key,
+		Value: value,
+	})
+}
+
+// Infof attaches a formatted observation to op.
+func (e *Emitter) Infof(op OpRef, key, format string, args ...any) {
+	e.Info(op, key, fmt.Sprintf(format, args...))
+}
+
+// Encode writes records to w in the line format, one record per line.
+func Encode(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range records {
+		var sb strings.Builder
+		sb.WriteString("GRANULA")
+		writeField(&sb, "t", strconv.FormatFloat(r.Time, 'f', -1, 64))
+		writeField(&sb, "job", r.Job)
+		writeField(&sb, "op", r.Op)
+		writeField(&sb, "event", string(r.Event))
+		if r.Event == EventStart {
+			writeField(&sb, "parent", r.Parent)
+			writeField(&sb, "actor", r.Actor)
+			writeField(&sb, "mission", r.Mission)
+		}
+		if r.Event == EventInfo {
+			writeField(&sb, "key", r.Key)
+			writeField(&sb, "value", r.Value)
+		}
+		sb.WriteByte('\n')
+		if _, err := bw.WriteString(sb.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeField(sb *strings.Builder, key, value string) {
+	sb.WriteByte(' ')
+	sb.WriteString(key)
+	sb.WriteByte('=')
+	sb.WriteString(strconv.Quote(value))
+}
+
+// Parse reads records in the line format, ignoring blank lines and lines
+// not starting with the GRANULA marker (platforms interleave ordinary log
+// output).
+func Parse(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "GRANULA ") {
+			continue
+		}
+		rec, err := parseLine(line[len("GRANULA "):])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Record, error) {
+	var rec Record
+	fields, err := splitFields(line)
+	if err != nil {
+		return rec, err
+	}
+	for key, value := range fields {
+		switch key {
+		case "t":
+			t, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return rec, fmt.Errorf("bad timestamp %q", value)
+			}
+			rec.Time = t
+		case "job":
+			rec.Job = value
+		case "op":
+			rec.Op = value
+		case "parent":
+			rec.Parent = value
+		case "actor":
+			rec.Actor = value
+		case "mission":
+			rec.Mission = value
+		case "event":
+			rec.Event = EventType(value)
+		case "key":
+			rec.Key = value
+		case "value":
+			rec.Value = value
+		default:
+			return rec, fmt.Errorf("unknown field %q", key)
+		}
+	}
+	switch rec.Event {
+	case EventStart, EventEnd, EventInfo:
+	default:
+		return rec, fmt.Errorf("bad event %q", rec.Event)
+	}
+	if rec.Op == "" {
+		return rec, fmt.Errorf("missing op")
+	}
+	return rec, nil
+}
+
+// splitFields parses `key="quoted value"` pairs separated by spaces.
+func splitFields(line string) (map[string]string, error) {
+	out := map[string]string{}
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		eq := strings.IndexByte(line[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed field at %q", line[i:])
+		}
+		key := line[i : i+eq]
+		i += eq + 1
+		if i >= len(line) || line[i] != '"' {
+			return nil, fmt.Errorf("unquoted value for %q", key)
+		}
+		// Find the closing quote, respecting escapes.
+		j := i + 1
+		for j < len(line) {
+			if line[j] == '\\' {
+				j += 2
+				continue
+			}
+			if line[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(line) {
+			return nil, fmt.Errorf("unterminated value for %q", key)
+		}
+		value, err := strconv.Unquote(line[i : j+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad value for %q: %w", key, err)
+		}
+		out[key] = value
+		i = j + 1
+	}
+	return out, nil
+}
+
+// JobIDs returns the distinct job IDs present in records, sorted.
+func JobIDs(records []Record) []string {
+	set := map[string]struct{}{}
+	for _, r := range records {
+		set[r.Job] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for j := range set {
+		out = append(out, j)
+	}
+	sort.Strings(out)
+	return out
+}

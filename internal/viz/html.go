@@ -1,0 +1,80 @@
+package viz
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+
+	"repro/internal/archive"
+)
+
+// HTMLReport renders a self-contained report for an archive: per job, the
+// decomposition bar, the CPU chart, the worker Gantt, and the operation
+// table with recorded and derived infos. The output needs no external
+// assets, so a report can be shared as a single file — Granula's
+// result-sharing goal.
+func HTMLReport(a *archive.Archive) string {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	sb.WriteString("<title>Granula performance report</title>\n<style>\n")
+	sb.WriteString(`body { font-family: sans-serif; margin: 24px; }
+h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 32px; }
+table { border-collapse: collapse; font-size: 12px; margin: 8px 0; }
+td, th { border: 1px solid #ccc; padding: 3px 8px; text-align: left; }
+tr:nth-child(even) { background: #f7f7f7; }
+.op-indent { color: #999; }
+`)
+	sb.WriteString("</style></head><body>\n")
+	sb.WriteString("<h1>Granula performance report</h1>\n")
+	fmt.Fprintf(&sb, "<p>%d job(s) in archive (format v%d).</p>\n", len(a.Jobs), a.Version)
+	for _, job := range a.Jobs {
+		fmt.Fprintf(&sb, "<h2>Job %s — %s</h2>\n", html.EscapeString(job.ID), html.EscapeString(job.Platform))
+		sb.WriteString(SVGBreakdown(job))
+		if len(job.EnvSamples) > 0 {
+			sb.WriteString(SVGCPUChart(job))
+		}
+		sb.WriteString(SVGWorkerGantt(job, 1, 0))
+		sb.WriteString(operationTable(job))
+	}
+	sb.WriteString("</body></html>\n")
+	return sb.String()
+}
+
+func operationTable(job *archive.Job) string {
+	var sb strings.Builder
+	sb.WriteString("<table>\n<tr><th>Operation</th><th>Actor</th><th>Start</th><th>Duration</th><th>Infos</th><th>Derived</th></tr>\n")
+	if job.Root == nil {
+		sb.WriteString("</table>\n")
+		return sb.String()
+	}
+	var walk func(op *archive.Operation, depth int)
+	walk = func(op *archive.Operation, depth int) {
+		indent := strings.Repeat("&nbsp;&nbsp;", depth)
+		fmt.Fprintf(&sb, "<tr><td>%s%s</td><td>%s</td><td>%.3f</td><td>%.3f</td><td>%s</td><td>%s</td></tr>\n",
+			indent, html.EscapeString(op.Mission), html.EscapeString(op.Actor),
+			op.Start, op.Duration(), kvList(op.Infos), kvList(op.Derived))
+		for _, c := range op.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(job.Root, 0)
+	sb.WriteString("</table>\n")
+	return sb.String()
+}
+
+func kvList(m map[string]string) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, html.EscapeString(k)+"="+html.EscapeString(m[k]))
+	}
+	return strings.Join(parts, "<br>")
+}
