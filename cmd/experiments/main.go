@@ -36,16 +36,7 @@ func main() {
 	flag.Parse()
 
 	r := &runner{seed: *seed, quick: *quick, outDir: *outDir}
-	steps := map[string]func() error{
-		"table1": r.table1,
-		"fig3":   r.fig3,
-		"fig4":   r.fig4,
-		"fig5":   r.fig5,
-		"fig6":   r.fig6,
-		"fig7":   r.fig7,
-		"fig8":   r.fig8,
-	}
-	order := []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"}
+	steps, order := experimentSteps(r)
 	var selected []string
 	if *exp == "all" {
 		selected = order
@@ -71,10 +62,28 @@ func main() {
 	}
 }
 
+// experimentSteps maps every -exp flag value to its reproduction step,
+// plus the canonical run order. Tests drive the same map main does.
+func experimentSteps(r *runner) (map[string]func() error, []string) {
+	steps := map[string]func() error{
+		"table1": r.table1,
+		"fig3":   r.fig3,
+		"fig4":   r.fig4,
+		"fig5":   r.fig5,
+		"fig6":   r.fig6,
+		"fig7":   r.fig7,
+		"fig8":   r.fig8,
+	}
+	return steps, []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"}
+}
+
 type runner struct {
 	seed   int64
 	quick  bool
 	outDir string
+	// vertices/edges, when non-zero, override the dataset size below
+	// even -quick scale (used by the smoke test).
+	vertices, edges int64
 
 	dataset    *datagen.Dataset
 	giraph     *platforms.Output
@@ -90,6 +99,10 @@ func (r *runner) dg1000() (*datagen.Dataset, error) {
 	if r.quick {
 		cfg.Vertices = 20_000
 		cfg.Edges = 100_000
+	}
+	if r.vertices > 0 {
+		cfg.Vertices = r.vertices
+		cfg.Edges = r.edges
 	}
 	ds, err := datagen.Generate(cfg)
 	if err != nil {

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns everything it printed. The experiment steps write to
+// os.Stdout directly, as the paper-reproduction transcript.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	var buf strings.Builder
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		io.Copy(&buf, r)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("step failed: %v", runErr)
+	}
+	return buf.String()
+}
+
+// TestEveryExperimentFlagSmoke runs each -exp value at a reduced
+// work scale and asserts it produces its figure's distinctive output.
+func TestEveryExperimentFlagSmoke(t *testing.T) {
+	markers := map[string]string{
+		"table1": "Giraph",            // the diversity table lists the platforms
+		"fig3":   "GraphProcessing",   // the domain model render
+		"fig4":   "Granula",           // the Giraph model render header
+		"fig5":   "measured: total",   // paper-vs-measured breakdown lines
+		"fig6":   "measured peak",     // CPU utilization summary
+		"fig7":   "measured peak",     //
+		"fig8":   "compute superstep", // imbalance summary
+	}
+	steps, order := experimentSteps(&runner{})
+	if len(steps) != len(order) {
+		t.Fatalf("steps/order mismatch: %d vs %d", len(steps), len(order))
+	}
+	for _, name := range order {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			// A fresh runner per flag, as `-exp <name>` gets, at a
+			// work scale far below even -quick.
+			r := &runner{seed: 42, quick: true, vertices: 1500, edges: 8000}
+			steps, _ := experimentSteps(r)
+			out := captureStdout(t, steps[name])
+			if len(out) == 0 {
+				t.Fatalf("-exp %s produced no output", name)
+			}
+			if marker := markers[name]; !strings.Contains(out, marker) {
+				t.Fatalf("-exp %s output lacks %q:\n%s", name, marker, out)
+			}
+		})
+	}
+}

@@ -1,7 +1,14 @@
 // Command granula-diff compares two Granula performance archives and
 // reports per-operation regressions — the paper's vision of performance
-// analysis as part of standard software-engineering practice. It exits
-// non-zero when a regression is found, so it slots directly into CI.
+// analysis as part of standard software-engineering practice.
+//
+// Its exit code is a CI contract:
+//
+//	0 — every comparable job passed (no regressions; improvements,
+//	    added, and removed operations do not fail a run)
+//	1 — at least one regression was found
+//	2 — usage or input error (missing flags, unreadable or invalid
+//	    archives, no comparable jobs between the two files)
 //
 // Example:
 //
@@ -12,26 +19,50 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/archive"
 	"repro/internal/regression"
 )
 
+// Exit codes of the CI contract.
+const (
+	exitPass       = 0
+	exitRegression = 1
+	exitError      = 2
+)
+
 func main() {
-	baselinePath := flag.String("baseline", "", "baseline archive JSON (required)")
-	currentPath := flag.String("current", "", "current archive JSON (required)")
-	jobID := flag.String("job", "", "compare only this job ID (default: every job present in both)")
-	threshold := flag.Float64("threshold", 0.10, "relative duration change that counts as a regression")
-	minSeconds := flag.Float64("min-seconds", 0.05, "ignore operations shorter than this in both runs")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("granula-diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "", "baseline archive JSON (required)")
+	currentPath := fs.String("current", "", "current archive JSON (required)")
+	jobID := fs.String("job", "", "compare only this job ID (default: every job present in both)")
+	threshold := fs.Float64("threshold", 0.10, "relative duration change that counts as a regression")
+	minSeconds := fs.Float64("min-seconds", 0.05, "ignore operations shorter than this in both runs")
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
 
 	if *baselinePath == "" || *currentPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: granula-diff -baseline <file> -current <file> [-job <id>] [-threshold 0.10]")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: granula-diff -baseline <file> -current <file> [-job <id>] [-threshold 0.10]")
+		return exitError
 	}
-	baseline := load(*baselinePath)
-	current := load(*currentPath)
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitError
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitError
+	}
 
 	th := regression.Thresholds{RelativeChange: *threshold, MinSeconds: *minSeconds}
 	pass := true
@@ -42,42 +73,40 @@ func main() {
 		}
 		base := baseline.Job(cur.ID)
 		if base == nil {
-			fmt.Printf("job %s: no baseline, skipping\n", cur.ID)
+			fmt.Fprintf(stdout, "job %s: no baseline, skipping\n", cur.ID)
 			continue
 		}
 		report, err := regression.Compare(base, cur, th)
 		if err != nil {
-			fatalf("compare %s: %v", cur.ID, err)
+			fmt.Fprintf(stderr, "compare %s: %v\n", cur.ID, err)
+			return exitError
 		}
-		fmt.Print(report.Render())
-		fmt.Println()
+		fmt.Fprint(stdout, report.Render())
+		fmt.Fprintln(stdout)
 		compared++
 		if !report.Pass() {
 			pass = false
 		}
 	}
 	if compared == 0 {
-		fatalf("no comparable jobs between the two archives")
+		fmt.Fprintln(stderr, "no comparable jobs between the two archives")
+		return exitError
 	}
 	if !pass {
-		os.Exit(1)
+		return exitRegression
 	}
+	return exitPass
 }
 
-func load(path string) *archive.Archive {
+func load(path string) (*archive.Archive, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fatalf("%v", err)
+		return nil, err
 	}
 	defer f.Close()
 	a, err := archive.Load(f)
 	if err != nil {
-		fatalf("load %s: %v", path, err)
+		return nil, fmt.Errorf("load %s: %w", path, err)
 	}
-	return a
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
+	return a, nil
 }

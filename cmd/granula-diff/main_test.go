@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/archive"
+)
+
+// writeArchive serializes one single-job archive whose ProcessGraph
+// child takes the given duration, to a temp file.
+func writeArchive(t *testing.T, dir, name string, processSeconds float64) string {
+	t.Helper()
+	end := 10 + processSeconds + 5
+	job := &archive.Job{
+		ID:       "bfs-test",
+		Platform: "Giraph",
+		Root: &archive.Operation{
+			ID: "root", Actor: "Granula", Mission: "GiraphJob", Start: 0, End: end,
+			Children: []*archive.Operation{
+				{ID: "startup", Actor: "Driver", Mission: "Startup", Start: 0, End: 5},
+				{ID: "load", Actor: "Driver", Mission: "LoadGraph", Start: 5, End: 10},
+				{ID: "proc", Actor: "Driver", Mission: "ProcessGraph", Start: 10, End: 10 + processSeconds},
+				{ID: "cleanup", Actor: "Driver", Mission: "Cleanup", Start: 10 + processSeconds, End: end},
+			},
+		},
+	}
+	a := archive.New()
+	a.Add(job)
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := a.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestExitCodeContract pins the CI contract: 0 = pass, 1 = regression,
+// 2 = usage/error.
+func TestExitCodeContract(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeArchive(t, dir, "baseline.json", 20)
+	same := writeArchive(t, dir, "same.json", 20)
+	slower := writeArchive(t, dir, "slower.json", 30)
+	faster := writeArchive(t, dir, "faster.json", 15)
+	if err := os.WriteFile(filepath.Join(dir, "garbage.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"identical runs pass", []string{"-baseline", baseline, "-current", same}, 0},
+		{"improvement passes", []string{"-baseline", baseline, "-current", faster}, 0},
+		{"regression fails", []string{"-baseline", baseline, "-current", slower}, 1},
+		{"regression under loose threshold passes", []string{"-baseline", baseline, "-current", slower, "-threshold", "0.60"}, 0},
+		{"job filter finds regression", []string{"-baseline", baseline, "-current", slower, "-job", "bfs-test"}, 1},
+		{"missing flags", nil, 2},
+		{"missing current", []string{"-baseline", baseline}, 2},
+		{"unknown flag", []string{"-baseline", baseline, "-current", same, "-wat"}, 2},
+		{"unreadable baseline", []string{"-baseline", filepath.Join(dir, "absent.json"), "-current", same}, 2},
+		{"invalid archive", []string{"-baseline", filepath.Join(dir, "garbage.json"), "-current", same}, 2},
+		{"no comparable jobs", []string{"-baseline", baseline, "-current", slower, "-job", "ghost"}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(c.args, &stdout, &stderr)
+			if got != c.want {
+				t.Fatalf("run(%v) = %d, want %d\nstdout: %s\nstderr: %s",
+					c.args, got, c.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+func TestDiffReportContent(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeArchive(t, dir, "baseline.json", 20)
+	slower := writeArchive(t, dir, "slower.json", 30)
+
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-baseline", baseline, "-current", slower}, &stdout, &stderr); got != 1 {
+		t.Fatalf("run = %d, want 1 (stderr: %s)", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"bfs-test", "ProcessGraph", "regression", "FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command granula-serve runs the Granula performance-archive service: a
+// long-running HTTP server whose bounded executor pool runs (platform,
+// algorithm, graph) simulations concurrently and publishes the analyzed
+// archives to an indexed in-memory store.
+//
+// API (all JSON unless noted):
+//
+//	POST   /jobs                  submit a job          → 202 {"id","status"}
+//	GET    /jobs                  list every job state
+//	GET    /jobs/{id}             status + summary
+//	DELETE /jobs/{id}             cancel a queued job
+//	GET    /jobs/{id}/archive     the job's performance archive
+//	GET    /jobs/{id}/query       ?q= (query language) or ?mission= / ?actor= / ?path= (indexed)
+//	GET    /jobs/{id}/viz/{kind}  breakdown|cpu|gantt (SVG), tree (text), report (HTML)
+//	POST   /diff                  regression verdicts between two stored jobs
+//	GET    /healthz               liveness + coarse load
+//	GET    /metrics               Prometheus text format
+//
+// With -loadtest N the command instead starts an in-process server on a
+// loopback port, hammers it with N concurrent jobs plus archive reads,
+// prints throughput and latency, and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "executor pool size")
+	queueCap := flag.Int("queue", 64, "bounded job-queue capacity")
+	loadtest := flag.Int("loadtest", 0, "run a self-contained load test with N jobs, print stats, exit")
+	concurrency := flag.Int("concurrency", 8, "load-test client goroutines")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	store := service.NewStore()
+	metrics := service.NewMetrics()
+	exec := service.NewExecutor(*workers, *queueCap, store, metrics)
+	srv := service.NewServer(exec, store, metrics)
+
+	if *loadtest > 0 {
+		os.Exit(runLoadTest(srv, exec, *loadtest, *concurrency, *drain))
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "granula-serve: shutting down, draining jobs...")
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		if err := exec.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "granula-serve: drain incomplete: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "granula-serve: listening on %s (%d workers, queue %d)\n",
+		*addr, *workers, *queueCap)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "granula-serve: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+}
+
+// runLoadTest serves on a loopback port and drives the API from the
+// same process — the zero-setup throughput demonstration.
+func runLoadTest(srv *service.Server, exec *service.Executor, jobs, concurrency int, drain time.Duration) int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "granula-serve: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "granula-serve: load-testing %s with %d jobs (%d clients)\n",
+		base, jobs, concurrency)
+
+	res, err := service.RunLoadTest(service.LoadTestConfig{
+		BaseURL:     base,
+		Jobs:        jobs,
+		Concurrency: concurrency,
+		Out:         os.Stderr,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	exec.Shutdown(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "granula-serve: loadtest: %v\n", err)
+		return 1
+	}
+	fmt.Print(res.Render())
+	if res.Failed > 0 {
+		return 1
+	}
+	return 0
+}

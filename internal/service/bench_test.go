@@ -1,0 +1,81 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/archive"
+)
+
+// benchStored builds one moderately deep job and stores it, returning
+// both the indexed entry and the raw job for the linear-scan baseline.
+func benchStored(b *testing.B) (*StoredJob, *archive.Job, []string) {
+	b.Helper()
+	out := testOutput(b, "Giraph", "PageRank")
+	s := NewStore()
+	s.Put(out.Job, summarize(JobRequest{Algorithm: "PageRank"}, out))
+	sj, _ := s.Get(out.Job.ID)
+	missions := sj.Missions()
+	if len(missions) < 5 {
+		b.Fatalf("job too shallow for a meaningful benchmark: %v", missions)
+	}
+	return sj, out.Job, missions
+}
+
+// BenchmarkArchiveQueryIndexed measures repeated mission queries
+// through the store's secondary index (DESIGN.md ablation item 6).
+func BenchmarkArchiveQueryIndexed(b *testing.B) {
+	sj, _, missions := benchStored(b)
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		for _, m := range missions {
+			total += len(sj.ByMission(m))
+		}
+	}
+	if total == 0 {
+		b.Fatal("no operations matched")
+	}
+}
+
+// BenchmarkArchiveQueryLinear is the baseline: the same queries
+// answered by rescanning the operation tree each time (Job.FindAll, as
+// the batch CLIs do).
+func BenchmarkArchiveQueryLinear(b *testing.B) {
+	_, job, missions := benchStored(b)
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		for _, m := range missions {
+			total += len(job.FindAll(m))
+		}
+	}
+	if total == 0 {
+		b.Fatal("no operations matched")
+	}
+}
+
+// BenchmarkArchivePathIndexed and ...PathLinear compare the path index
+// against Job.Find's level-by-level descent.
+func BenchmarkArchivePathIndexed(b *testing.B) {
+	sj, _, _ := benchStored(b)
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += len(sj.ByPath("GiraphJob/ProcessGraph/Superstep"))
+	}
+	if total == 0 {
+		b.Fatal("no operations matched")
+	}
+}
+
+func BenchmarkArchivePathLinear(b *testing.B) {
+	_, job, _ := benchStored(b)
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += len(job.Find("GiraphJob", "ProcessGraph", "Superstep"))
+	}
+	if total == 0 {
+		b.Fatal("no operations matched")
+	}
+}

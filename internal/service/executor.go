@@ -1,0 +1,410 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/archive"
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/platforms"
+)
+
+// JobStatus is the lifecycle state of a submitted job.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusDone     JobStatus = "done"
+	StatusFailed   JobStatus = "failed"
+	StatusCanceled JobStatus = "canceled"
+)
+
+// JobRequest describes one simulation to run. Zero fields select the
+// documented defaults, which are filled in at submission time so the
+// recorded request (and hence the status JSON) is self-describing.
+type JobRequest struct {
+	// Platform is Giraph, PowerGraph, or OpenG.
+	Platform string `json:"platform"`
+	// Algorithm is BFS, SSSP, PageRank, WCC, CDLP, or LCC (platform
+	// permitting).
+	Algorithm string `json:"algorithm"`
+	// GraphKind is social, rmat, or uniform; default social.
+	GraphKind string `json:"graphKind,omitempty"`
+	// Vertices and Edges size the generated graph; defaults 2000/10000.
+	Vertices int64 `json:"vertices,omitempty"`
+	Edges    int64 `json:"edges,omitempty"`
+	// Seed seeds dataset generation; default 42.
+	Seed int64 `json:"seed,omitempty"`
+	// Iterations bounds fixed-iteration algorithms; default 10.
+	Iterations int `json:"iterations,omitempty"`
+	// Nodes sizes the simulated cluster; default the 8-node DAS5 model.
+	Nodes int `json:"nodes,omitempty"`
+	// ID names the job; default "job-<seq>".
+	ID string `json:"id,omitempty"`
+}
+
+func (r *JobRequest) applyDefaults() {
+	if r.GraphKind == "" {
+		r.GraphKind = "social"
+	}
+	if r.Vertices == 0 {
+		r.Vertices = 2000
+	}
+	if r.Edges == 0 {
+		r.Edges = 10_000
+	}
+	if r.Seed == 0 {
+		r.Seed = 42
+	}
+	if r.Iterations == 0 {
+		r.Iterations = 10
+	}
+}
+
+func (r *JobRequest) validate() error {
+	if r.Platform == "" {
+		return fmt.Errorf("service: job request needs a platform")
+	}
+	if r.Algorithm == "" {
+		return fmt.Errorf("service: job request needs an algorithm")
+	}
+	if r.Vertices < 0 || r.Edges < 0 || r.Nodes < 0 || r.Iterations < 0 {
+		return fmt.Errorf("service: job request sizes must be non-negative")
+	}
+	switch r.GraphKind {
+	case "", "social", "rmat", "uniform":
+	default:
+		return fmt.Errorf("service: unknown graph kind %q", r.GraphKind)
+	}
+	return nil
+}
+
+// JobState is the externally visible record of a submitted job.
+type JobState struct {
+	ID      string     `json:"id"`
+	Request JobRequest `json:"request"`
+	Status  JobStatus  `json:"status"`
+	Error   string     `json:"error,omitempty"`
+	// Summary is present once the job is done.
+	Summary *Summary `json:"summary,omitempty"`
+}
+
+// Executor is the bounded job pool: a fixed number of workers drain a
+// bounded queue of submitted requests, run them through the platforms
+// harness, and publish results to the archive store.
+type Executor struct {
+	store   *Store
+	metrics *Metrics
+
+	queue  chan string
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	states map[string]*JobState
+	order  []string
+	seq    int
+	closed bool
+
+	dsMu     sync.Mutex
+	datasets map[datasetKey]*datagen.Dataset
+}
+
+type datasetKey struct {
+	kind     string
+	vertices int64
+	edges    int64
+	seed     int64
+}
+
+// NewExecutor starts a pool of workers over a queue of the given
+// capacity. Metrics may be nil.
+func NewExecutor(workers, queueCap int, store *Store, m *Metrics) *Executor {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Executor{
+		store:    store,
+		metrics:  m,
+		queue:    make(chan string, queueCap),
+		ctx:      ctx,
+		cancel:   cancel,
+		states:   map[string]*JobState{},
+		datasets: map[datasetKey]*datagen.Dataset{},
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue is at
+// capacity; HTTP maps it to 429.
+var ErrQueueFull = fmt.Errorf("service: job queue is full")
+
+// Submit validates and enqueues a request, returning the assigned job
+// ID. It never blocks: a full queue is an error the caller can surface.
+func (e *Executor) Submit(req JobRequest) (string, error) {
+	if err := req.validate(); err != nil {
+		return "", err
+	}
+	req.applyDefaults()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return "", fmt.Errorf("service: executor is shut down")
+	}
+	e.seq++
+	if req.ID == "" {
+		req.ID = fmt.Sprintf("job-%04d", e.seq)
+	}
+	if _, dup := e.states[req.ID]; dup {
+		e.mu.Unlock()
+		return "", fmt.Errorf("service: duplicate job ID %q", req.ID)
+	}
+	st := &JobState{ID: req.ID, Request: req, Status: StatusQueued}
+	e.states[req.ID] = st
+	e.order = append(e.order, req.ID)
+	e.mu.Unlock()
+
+	select {
+	case e.queue <- req.ID:
+		return req.ID, nil
+	default:
+		e.mu.Lock()
+		delete(e.states, req.ID)
+		e.order = e.order[:len(e.order)-1]
+		e.mu.Unlock()
+		return "", ErrQueueFull
+	}
+}
+
+// State returns a copy of one job's state.
+func (e *Executor) State(id string) (JobState, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.states[id]
+	if !ok {
+		return JobState{}, false
+	}
+	return *st, true
+}
+
+// States returns copies of every job state in submission order.
+func (e *Executor) States() []JobState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]JobState, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, *e.states[id])
+	}
+	return out
+}
+
+// QueueDepth reports the number of jobs waiting for a worker.
+func (e *Executor) QueueDepth() int { return len(e.queue) }
+
+// Cancel marks a queued job canceled so workers skip it. Running jobs
+// cannot be interrupted (the simulation kernel is not preemptible);
+// Cancel reports whether the job was still cancelable.
+func (e *Executor) Cancel(id string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.states[id]
+	if !ok || st.Status != StatusQueued {
+		return false
+	}
+	st.Status = StatusCanceled
+	return true
+}
+
+// Shutdown stops intake and drains the queue: queued and in-flight jobs
+// keep running until done or until ctx expires, at which point the
+// remaining queued jobs are marked canceled and Shutdown returns
+// ctx.Err() after in-flight jobs finish.
+func (e *Executor) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.queue)
+
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		e.cancel() // workers skip the rest of the queue
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	for id := range e.queue {
+		if e.ctx.Err() != nil {
+			e.setCanceled(id)
+			continue
+		}
+		if !e.setRunning(id) {
+			continue // canceled while queued
+		}
+		sum, job, err := e.run(id)
+		if err != nil {
+			e.setFailed(id, err)
+			continue
+		}
+		e.store.Put(job, sum)
+		e.setDone(id, sum)
+	}
+}
+
+func (e *Executor) setRunning(id string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.states[id]
+	if st.Status != StatusQueued {
+		return false
+	}
+	st.Status = StatusRunning
+	if e.metrics != nil {
+		e.metrics.JobStarted()
+	}
+	return true
+}
+
+func (e *Executor) setCanceled(id string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st := e.states[id]; st.Status == StatusQueued {
+		st.Status = StatusCanceled
+	}
+}
+
+func (e *Executor) setFailed(id string, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.states[id]
+	st.Status = StatusFailed
+	st.Error = err.Error()
+	if e.metrics != nil {
+		e.metrics.JobFinished(false)
+	}
+}
+
+func (e *Executor) setDone(id string, sum Summary) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.states[id]
+	st.Status = StatusDone
+	s := sum
+	st.Summary = &s
+	if e.metrics != nil {
+		e.metrics.JobFinished(true)
+	}
+}
+
+// dataset returns the generated dataset for a request, cached by
+// (kind, vertices, edges, seed) so concurrent jobs over the same graph
+// generate it once.
+func (e *Executor) dataset(req JobRequest) (*datagen.Dataset, error) {
+	key := datasetKey{kind: req.GraphKind, vertices: req.Vertices, edges: req.Edges, seed: req.Seed}
+	e.dsMu.Lock()
+	defer e.dsMu.Unlock()
+	if ds, ok := e.datasets[key]; ok {
+		return ds, nil
+	}
+	var kind datagen.Kind
+	switch req.GraphKind {
+	case "social":
+		kind = datagen.SocialNetwork
+	case "rmat":
+		kind = datagen.RMAT
+	case "uniform":
+		kind = datagen.Uniform
+	}
+	ds, err := datagen.Generate(datagen.Config{
+		Kind: kind, Vertices: req.Vertices, Edges: req.Edges,
+		Seed: req.Seed, Directed: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.datasets[key] = ds
+	return ds, nil
+}
+
+func (e *Executor) run(id string) (Summary, *archive.Job, error) {
+	e.mu.Lock()
+	req := e.states[id].Request
+	e.mu.Unlock()
+
+	ds, err := e.dataset(req)
+	if err != nil {
+		return Summary{}, nil, err
+	}
+	spec := platforms.Spec{
+		Platform:   req.Platform,
+		Algorithm:  req.Algorithm,
+		Source:     datagen.PeripheralSource(ds.Graph),
+		Iterations: req.Iterations,
+		Dataset:    ds,
+		JobID:      id,
+	}
+	if req.Nodes > 0 {
+		cfg := platforms.DAS5Config()
+		cfg.Nodes = req.Nodes
+		spec.Cluster = cfg
+	}
+	out, err := platforms.Run(spec)
+	if err != nil {
+		return Summary{}, nil, err
+	}
+	return summarize(req, out), out.Job, nil
+}
+
+func summarize(req JobRequest, out *platforms.Output) Summary {
+	ops := 0
+	if out.Job.Root != nil {
+		out.Job.Root.Walk(func(*archive.Operation) { ops++ })
+	}
+	sum := Summary{
+		ID:                out.Job.ID,
+		Platform:          out.Job.Platform,
+		Algorithm:         req.Algorithm,
+		Runtime:           out.Runtime,
+		Supersteps:        out.Supersteps,
+		Operations:        ops,
+		SetupPercent:      out.Breakdown.SetupPercent(),
+		IOPercent:         out.Breakdown.IOPercent(),
+		ProcessingPercent: out.Breakdown.ProcessingPercent(),
+		ReplicationFactor: out.ReplicationFactor,
+	}
+	for _, me := range out.ModelErrors {
+		sum.ModelErrors = append(sum.ModelErrors, fmt.Sprintf("%v", me))
+	}
+	return sum
+}
+
+// ClusterDefaults exposes the default cluster model so callers (and
+// docs) can report what Nodes=0 means.
+func ClusterDefaults() cluster.Config { return platforms.DAS5Config() }

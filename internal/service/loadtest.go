@@ -1,0 +1,241 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadTestConfig drives RunLoadTest.
+type LoadTestConfig struct {
+	// BaseURL is the serve endpoint, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Jobs is the total number of jobs to submit.
+	Jobs int
+	// Concurrency is the number of client goroutines; 0 selects 8.
+	Concurrency int
+	// Vertices/Edges size each job's graph; 0 selects 2000/10000.
+	Vertices int64
+	Edges    int64
+	// Out receives progress lines; nil discards them.
+	Out io.Writer
+}
+
+// LoadTestResult summarizes one load-test run.
+type LoadTestResult struct {
+	Jobs       int
+	Done       int
+	Failed     int
+	Requests   int
+	Wall       time.Duration
+	JobsPerSec float64
+	ReqPerSec  float64
+	P50        time.Duration
+	P95        time.Duration
+	Max        time.Duration
+}
+
+// loadClient is one goroutine's view of the API plus shared counters.
+type loadClient struct {
+	cfg    LoadTestConfig
+	client *http.Client
+
+	mu        sync.Mutex
+	latencies []time.Duration
+	requests  int
+	done      int
+	failed    int
+}
+
+func (lc *loadClient) record(d time.Duration) {
+	lc.mu.Lock()
+	lc.latencies = append(lc.latencies, d)
+	lc.requests++
+	lc.mu.Unlock()
+}
+
+func (lc *loadClient) do(method, path string, body any) (*http.Response, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return nil, nil, err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, lc.cfg.BaseURL+path, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	resp, err := lc.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	lc.record(time.Since(start))
+	if err != nil {
+		return resp, nil, err
+	}
+	return resp, payload, nil
+}
+
+// runJob submits one job, polls it to completion, then exercises the
+// read endpoints (status, archive, indexed query, language query, viz,
+// metrics) the way an interactive archive consumer would.
+func (lc *loadClient) runJob(i int) error {
+	platform := []string{"Giraph", "PowerGraph", "OpenG"}[i%3]
+	algorithm := []string{"BFS", "PageRank", "WCC"}[i%3]
+	req := JobRequest{
+		Platform:  platform,
+		Algorithm: algorithm,
+		Vertices:  lc.cfg.Vertices,
+		Edges:     lc.cfg.Edges,
+	}
+	var id string
+	for {
+		resp, payload, err := lc.do("POST", "/jobs", req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			time.Sleep(50 * time.Millisecond) // bounded queue pushed back
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("submit: %s: %s", resp.Status, payload)
+		}
+		var sub submitResponse
+		if err := json.Unmarshal(payload, &sub); err != nil {
+			return err
+		}
+		id = sub.ID
+		break
+	}
+
+	for {
+		resp, payload, err := lc.do("GET", "/jobs/"+id, nil)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %s: %s: %s", id, resp.Status, payload)
+		}
+		var st JobState
+		if err := json.Unmarshal(payload, &st); err != nil {
+			return err
+		}
+		if st.Status == StatusFailed {
+			return fmt.Errorf("job %s failed: %s", id, st.Error)
+		}
+		if st.Status == StatusDone {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	reads := []string{
+		"/jobs/" + id + "/archive",
+		"/jobs/" + id + "/query?mission=ProcessGraph",
+		"/jobs/" + id + "/query?q=" + "duration+%3E+0.5+order+by+duration+desc+limit+5",
+		"/jobs/" + id + "/viz/breakdown",
+		"/metrics",
+	}
+	for _, path := range reads {
+		resp, payload, err := lc.do("GET", path, nil)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %s: %s", path, resp.Status, payload)
+		}
+		if len(payload) == 0 {
+			return fmt.Errorf("GET %s: empty body", path)
+		}
+	}
+	return nil
+}
+
+// RunLoadTest hammers a running granula-serve instance with concurrent
+// jobs and archive reads, and reports client-observed throughput and
+// latency. It is the -loadtest mode of cmd/granula-serve.
+func RunLoadTest(cfg LoadTestConfig) (*LoadTestResult, error) {
+	if cfg.Jobs < 1 {
+		cfg.Jobs = 1
+	}
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	lc := &loadClient{cfg: cfg, client: &http.Client{Timeout: 60 * time.Second}}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := lc.runJob(i); err != nil {
+					fmt.Fprintf(cfg.Out, "[loadtest] job %d: %v\n", i, err)
+					lc.mu.Lock()
+					lc.failed++
+					lc.mu.Unlock()
+					continue
+				}
+				lc.mu.Lock()
+				lc.done++
+				n := lc.done
+				lc.mu.Unlock()
+				if n%10 == 0 {
+					fmt.Fprintf(cfg.Out, "[loadtest] %d/%d jobs done\n", n, cfg.Jobs)
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Jobs; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	sort.Slice(lc.latencies, func(i, j int) bool { return lc.latencies[i] < lc.latencies[j] })
+	res := &LoadTestResult{
+		Jobs:     cfg.Jobs,
+		Done:     lc.done,
+		Failed:   lc.failed,
+		Requests: lc.requests,
+		Wall:     wall,
+	}
+	if wall > 0 {
+		res.JobsPerSec = float64(lc.done) / wall.Seconds()
+		res.ReqPerSec = float64(lc.requests) / wall.Seconds()
+	}
+	if n := len(lc.latencies); n > 0 {
+		res.P50 = lc.latencies[n/2]
+		res.P95 = lc.latencies[n*95/100]
+		res.Max = lc.latencies[n-1]
+	}
+	return res, nil
+}
+
+// Render formats the result for terminals.
+func (r *LoadTestResult) Render() string {
+	return fmt.Sprintf(
+		"loadtest: %d jobs (%d done, %d failed) in %.2fs — %.1f jobs/s, %.1f req/s over %d requests\n"+
+			"request latency: p50 %s  p95 %s  max %s\n",
+		r.Jobs, r.Done, r.Failed, r.Wall.Seconds(), r.JobsPerSec, r.ReqPerSec, r.Requests,
+		r.P50, r.P95, r.Max)
+}

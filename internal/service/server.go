@@ -1,0 +1,365 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/query"
+	"repro/internal/regression"
+	"repro/internal/viz"
+)
+
+// Server is the HTTP face of the service: it routes the JSON API over
+// one executor, one store, and one metrics registry.
+type Server struct {
+	exec    *Executor
+	store   *Store
+	metrics *Metrics
+	handler http.Handler
+}
+
+// NewServer wires the API routes. Metrics may be nil, in which case a
+// fresh registry is created.
+func NewServer(exec *Executor, store *Store, m *Metrics) *Server {
+	if m == nil {
+		m = NewMetrics()
+	}
+	s := &Server{exec: exec, store: store, metrics: m}
+	mux := http.NewServeMux()
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	route("POST /jobs", s.handleSubmit)
+	route("GET /jobs", s.handleList)
+	route("GET /jobs/{id}", s.handleStatus)
+	route("DELETE /jobs/{id}", s.handleCancel)
+	route("GET /jobs/{id}/archive", s.handleArchive)
+	route("GET /jobs/{id}/query", s.handleQuery)
+	route("GET /jobs/{id}/viz/{kind}", s.handleViz)
+	route("POST /diff", s.handleDiff)
+	route("GET /healthz", s.handleHealthz)
+	route("GET /metrics", s.handleMetrics)
+	s.handler = mux
+	return s
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// instrument records request latency under the route pattern.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.metrics.ObserveRequest(pattern, time.Since(start).Seconds())
+	})
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v as indented JSON. encoding/json emits struct
+// fields in declaration order and map keys sorted, and every slice the
+// API returns is explicitly ordered, so responses are byte-stable.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitResponse acknowledges a queued job.
+type submitResponse struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job request: %v", err)
+		return
+	}
+	id, err := s.exec.Submit(req)
+	if err == ErrQueueFull {
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: id, Status: StatusQueued})
+}
+
+// listResponse enumerates every submitted job in submission order.
+type listResponse struct {
+	Count int        `json:"count"`
+	Jobs  []JobState `json:"jobs"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	states := s.exec.States()
+	writeJSON(w, http.StatusOK, listResponse{Count: len(states), Jobs: states})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.exec.State(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.exec.State(id); !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	if !s.exec.Cancel(id) {
+		writeError(w, http.StatusConflict, "job %q is no longer cancelable", id)
+		return
+	}
+	st, _ := s.exec.State(id)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// storedJob resolves a job ID to its archived result, writing the
+// appropriate error (404 for unknown, 409 for not-yet-done) otherwise.
+func (s *Server) storedJob(w http.ResponseWriter, id string) (*StoredJob, bool) {
+	sj, ok := s.store.Get(id)
+	if ok {
+		return sj, true
+	}
+	if st, known := s.exec.State(id); known {
+		writeError(w, http.StatusConflict, "job %q is %s, no archive yet", id, st.Status)
+	} else {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+	}
+	return nil, false
+}
+
+func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sj, ok := s.storedJob(w, id)
+	if !ok {
+		return
+	}
+	a := archive.New()
+	a.Jobs = append(a.Jobs, sj.Job)
+	w.Header().Set("Content-Type", "application/json")
+	a.Save(w)
+}
+
+// OperationView is the flat JSON projection of one operation.
+type OperationView struct {
+	ID       string            `json:"id"`
+	Actor    string            `json:"actor"`
+	Mission  string            `json:"mission"`
+	Path     string            `json:"path"`
+	Start    float64           `json:"start"`
+	End      float64           `json:"end"`
+	Duration float64           `json:"duration"`
+	Infos    map[string]string `json:"infos,omitempty"`
+	Derived  map[string]string `json:"derived,omitempty"`
+}
+
+func viewOps(ops []*archive.Operation) []OperationView {
+	out := make([]OperationView, 0, len(ops))
+	for _, op := range ops {
+		out = append(out, OperationView{
+			ID: op.ID, Actor: op.Actor, Mission: op.Mission, Path: PathKey(op),
+			Start: op.Start, End: op.End, Duration: op.Duration(),
+			Infos: op.Infos, Derived: op.Derived,
+		})
+	}
+	return out
+}
+
+// queryResponse carries the operations matched by a query.
+type queryResponse struct {
+	JobID      string          `json:"jobId"`
+	Count      int             `json:"count"`
+	Operations []OperationView `json:"operations"`
+}
+
+// handleQuery serves GET /jobs/{id}/query. Exactly one selector is
+// required: ?q= runs the internal/query language over the tree;
+// ?mission=, ?actor=, and ?path= hit the store's secondary indexes.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sj, ok := s.storedJob(w, id)
+	if !ok {
+		return
+	}
+	params := r.URL.Query()
+	selectors := 0
+	for _, k := range []string{"q", "mission", "actor", "path"} {
+		if params.Has(k) {
+			selectors++
+		}
+	}
+	if selectors != 1 {
+		writeError(w, http.StatusBadRequest,
+			"need exactly one of q=, mission=, actor=, path= (got %d)", selectors)
+		return
+	}
+	var ops []*archive.Operation
+	switch {
+	case params.Has("q"):
+		q, err := query.Parse(params.Get("q"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		ops = q.Select(sj.Job)
+	case params.Has("mission"):
+		ops = sj.ByMission(params.Get("mission"))
+	case params.Has("actor"):
+		ops = sj.ByActor(params.Get("actor"))
+	case params.Has("path"):
+		ops = sj.ByPath(params.Get("path"))
+	}
+	writeJSON(w, http.StatusOK, queryResponse{JobID: id, Count: len(ops), Operations: viewOps(ops)})
+}
+
+func (s *Server) handleViz(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sj, ok := s.storedJob(w, id)
+	if !ok {
+		return
+	}
+	switch kind := r.PathValue("kind"); kind {
+	case "breakdown":
+		w.Header().Set("Content-Type", "image/svg+xml")
+		fmt.Fprint(w, viz.SVGBreakdown(sj.Job))
+	case "cpu":
+		w.Header().Set("Content-Type", "image/svg+xml")
+		fmt.Fprint(w, viz.SVGCPUChart(sj.Job))
+	case "gantt":
+		w.Header().Set("Content-Type", "image/svg+xml")
+		fmt.Fprint(w, viz.SVGWorkerGantt(sj.Job, 1, 0))
+	case "tree":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, viz.OperationTree(sj.Job))
+	case "report":
+		a := archive.New()
+		a.Jobs = append(a.Jobs, sj.Job)
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, viz.HTMLReport(a))
+	default:
+		writeError(w, http.StatusNotFound,
+			"unknown viz kind %q (want breakdown, cpu, gantt, tree, report)", kind)
+	}
+}
+
+// DiffRequest asks for a regression comparison between two stored jobs.
+type DiffRequest struct {
+	BaselineID string `json:"baselineId"`
+	CurrentID  string `json:"currentId"`
+	// Threshold is the relative duration change that counts as a
+	// regression; 0 selects 0.10.
+	Threshold float64 `json:"threshold,omitempty"`
+	// MinSeconds ignores operations shorter than this in both runs;
+	// 0 selects 0.05.
+	MinSeconds float64 `json:"minSeconds,omitempty"`
+}
+
+// DiffFinding mirrors regression.Finding with JSON names.
+type DiffFinding struct {
+	Key      string  `json:"key"`
+	Mission  string  `json:"mission"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	Change   float64 `json:"change"`
+	Verdict  string  `json:"verdict"`
+}
+
+// DiffResponse is the serialized regression report.
+type DiffResponse struct {
+	JobID            string        `json:"jobId"`
+	Pass             bool          `json:"pass"`
+	BaselineMakespan float64       `json:"baselineMakespan"`
+	CurrentMakespan  float64       `json:"currentMakespan"`
+	MakespanChange   float64       `json:"makespanChange"`
+	Findings         []DiffFinding `json:"findings"`
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	var req DiffRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad diff request: %v", err)
+		return
+	}
+	baseline, ok := s.storedJob(w, req.BaselineID)
+	if !ok {
+		return
+	}
+	current, ok := s.storedJob(w, req.CurrentID)
+	if !ok {
+		return
+	}
+	report, err := regression.Compare(baseline.Job, current.Job,
+		regression.Thresholds{RelativeChange: req.Threshold, MinSeconds: req.MinSeconds})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := DiffResponse{
+		JobID:            report.JobID,
+		Pass:             report.Pass(),
+		BaselineMakespan: report.BaselineMakespan,
+		CurrentMakespan:  report.CurrentMakespan,
+		MakespanChange:   report.MakespanChange,
+		Findings:         make([]DiffFinding, 0, len(report.Findings)),
+	}
+	for _, f := range report.Findings {
+		resp.Findings = append(resp.Findings, DiffFinding{
+			Key: f.Key, Mission: f.Mission, Baseline: f.Baseline,
+			Current: f.Current, Change: f.Change, Verdict: string(f.Verdict),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// healthResponse reports liveness plus coarse load.
+type healthResponse struct {
+	Status     string `json:"status"`
+	Jobs       int    `json:"jobs"`
+	QueueDepth int    `json:"queueDepth"`
+	StoreJobs  int    `json:"storeJobs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		Jobs:       len(s.exec.States()),
+		QueueDepth: s.exec.QueueDepth(),
+		StoreJobs:  s.store.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w, s.exec.QueueDepth(), s.store.Len())
+}

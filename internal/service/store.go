@@ -1,0 +1,179 @@
+// Package service implements granula-serve: the long-running serving
+// layer over the Granula pipeline. It owns a bounded job executor pool
+// that runs (platform, algorithm, graph) simulations concurrently, an
+// in-memory archive store with secondary indexes over operation path,
+// actor, and mission (DESIGN.md ablation item 6: indexed vs. linear
+// scan), and a JSON HTTP API that exposes submission, status, archive
+// retrieval, the query language, visualization, and regression diffs.
+//
+// The store and executor are safe for concurrent use; every JSON
+// response is deterministic (sorted keys and slices) so serve output is
+// diff-stable across runs, matching the repo's determinism guarantee.
+package service
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/archive"
+)
+
+// Summary is the condensed result of one analyzed job, suitable for a
+// status response without shipping the whole operation tree.
+type Summary struct {
+	ID                string   `json:"id"`
+	Platform          string   `json:"platform"`
+	Algorithm         string   `json:"algorithm"`
+	Runtime           float64  `json:"runtime"`
+	Supersteps        int      `json:"supersteps"`
+	Operations        int      `json:"operations"`
+	SetupPercent      float64  `json:"setupPercent"`
+	IOPercent         float64  `json:"ioPercent"`
+	ProcessingPercent float64  `json:"processingPercent"`
+	ReplicationFactor float64  `json:"replicationFactor,omitempty"`
+	ModelErrors       []string `json:"modelErrors,omitempty"`
+}
+
+// StoredJob is one archived job plus its secondary indexes. The indexes
+// are built once at Put time, after which the operation tree is treated
+// as immutable; repeated queries then hit a map lookup instead of
+// rescanning the tree.
+type StoredJob struct {
+	Job     *archive.Job
+	Summary Summary
+
+	byMission map[string][]*archive.Operation
+	byActor   map[string][]*archive.Operation
+	byPath    map[string][]*archive.Operation
+}
+
+// PathKey is the index key for an operation's mission path from the
+// root, e.g. "GiraphJob/ProcessGraph/Superstep".
+func PathKey(op *archive.Operation) string {
+	return strings.Join(op.Path(), "/")
+}
+
+func indexJob(job *archive.Job, sum Summary) *StoredJob {
+	sj := &StoredJob{
+		Job:       job,
+		Summary:   sum,
+		byMission: map[string][]*archive.Operation{},
+		byActor:   map[string][]*archive.Operation{},
+		byPath:    map[string][]*archive.Operation{},
+	}
+	if job.Root != nil {
+		job.Root.Walk(func(op *archive.Operation) {
+			sj.byMission[op.Mission] = append(sj.byMission[op.Mission], op)
+			sj.byActor[op.Actor] = append(sj.byActor[op.Actor], op)
+			sj.byPath[PathKey(op)] = append(sj.byPath[PathKey(op)], op)
+		})
+	}
+	return sj
+}
+
+// ByMission returns every operation with the given mission in
+// depth-first order, equivalent to Job.FindAll without the rescan.
+func (sj *StoredJob) ByMission(mission string) []*archive.Operation {
+	return sj.byMission[mission]
+}
+
+// ByActor returns every operation executed by the given actor, in
+// depth-first order.
+func (sj *StoredJob) ByActor(actor string) []*archive.Operation {
+	return sj.byActor[actor]
+}
+
+// ByPath returns the operations whose mission path from the root equals
+// the given "A/B/C" key, equivalent to Job.Find without the descent.
+func (sj *StoredJob) ByPath(path string) []*archive.Operation {
+	return sj.byPath[path]
+}
+
+// Missions returns the distinct missions present in the job, sorted.
+func (sj *StoredJob) Missions() []string {
+	out := make([]string, 0, len(sj.byMission))
+	for m := range sj.byMission {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Actors returns the distinct actors present in the job, sorted.
+func (sj *StoredJob) Actors() []string {
+	out := make([]string, 0, len(sj.byActor))
+	for a := range sj.byActor {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Store is the in-memory performance-archive store: completed jobs
+// keyed by job ID, each with its secondary indexes. It is safe for
+// concurrent readers and writers.
+type Store struct {
+	mu   sync.RWMutex
+	jobs map[string]*StoredJob
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{jobs: map[string]*StoredJob{}}
+}
+
+// Put indexes and stores a completed job under its summary ID. Adding
+// the job to a throwaway archive first restores parent links and child
+// ordering, so path keys are correct for jobs fresh out of the harness
+// (Load-ed archives are already linked; relinking is idempotent).
+func (s *Store) Put(job *archive.Job, sum Summary) {
+	archive.New().Add(job)
+	sj := indexJob(job, sum)
+	s.mu.Lock()
+	s.jobs[sum.ID] = sj
+	s.mu.Unlock()
+}
+
+// Get returns the stored job with the given ID.
+func (s *Store) Get(id string) (*StoredJob, bool) {
+	s.mu.RLock()
+	sj, ok := s.jobs[id]
+	s.mu.RUnlock()
+	return sj, ok
+}
+
+// Len returns the number of stored jobs.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	n := len(s.jobs)
+	s.mu.RUnlock()
+	return n
+}
+
+// IDs returns the stored job IDs, sorted.
+func (s *Store) IDs() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		out = append(out, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Archive assembles the stored jobs (sorted by ID) into one archive,
+// the same format cmd/granula writes to disk.
+func (s *Store) Archive(ids ...string) *archive.Archive {
+	if len(ids) == 0 {
+		ids = s.IDs()
+	}
+	a := archive.New()
+	for _, id := range ids {
+		if sj, ok := s.Get(id); ok {
+			a.Jobs = append(a.Jobs, sj.Job)
+		}
+	}
+	return a
+}

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/datagen"
+	"repro/internal/platforms"
+)
+
+// testOutput runs one small real job through the pipeline so store and
+// index tests exercise genuine operation trees.
+func testOutput(t testing.TB, platform, algorithm string) *platforms.Output {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Config{
+		Kind: datagen.SocialNetwork, Vertices: 1500, Edges: 8000, Seed: 21, Directed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := platforms.Run(platforms.Spec{
+		Platform:  platform,
+		Algorithm: algorithm,
+		Source:    datagen.PeripheralSource(ds.Graph),
+		Dataset:   ds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestStorePutGet(t *testing.T) {
+	out := testOutput(t, "Giraph", "BFS")
+	s := NewStore()
+	if s.Len() != 0 {
+		t.Fatalf("new store has %d jobs", s.Len())
+	}
+	sum := summarize(JobRequest{Algorithm: "BFS"}, out)
+	s.Put(out.Job, sum)
+	if s.Len() != 1 {
+		t.Fatalf("store has %d jobs, want 1", s.Len())
+	}
+	sj, ok := s.Get(out.Job.ID)
+	if !ok {
+		t.Fatalf("Get(%q) missing", out.Job.ID)
+	}
+	if sj.Summary.Platform != "Giraph" || sj.Summary.Operations == 0 {
+		t.Fatalf("bad summary: %+v", sj.Summary)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("Get(nope) should miss")
+	}
+}
+
+func TestStoreIndexesMatchLinearScan(t *testing.T) {
+	out := testOutput(t, "Giraph", "BFS")
+	s := NewStore()
+	s.Put(out.Job, summarize(JobRequest{Algorithm: "BFS"}, out))
+	sj, _ := s.Get(out.Job.ID)
+
+	for _, mission := range sj.Missions() {
+		want := out.Job.FindAll(mission)
+		got := sj.ByMission(mission)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("ByMission(%q): indexed %d ops, linear %d", mission, len(got), len(want))
+		}
+	}
+
+	// Every indexed actor entry matches a full-tree filter.
+	for _, actor := range sj.Actors() {
+		var want []*archive.Operation
+		out.Job.Root.Walk(func(op *archive.Operation) {
+			if op.Actor == actor {
+				want = append(want, op)
+			}
+		})
+		if got := sj.ByActor(actor); !reflect.DeepEqual(got, want) {
+			t.Fatalf("ByActor(%q): indexed %d ops, linear %d", actor, len(got), len(want))
+		}
+	}
+
+	// Path index agrees with Job.Find on a deep path.
+	path := []string{"GiraphJob", "ProcessGraph", "Superstep"}
+	want := out.Job.Find(path...)
+	if len(want) == 0 {
+		t.Fatal("expected supersteps in a Giraph BFS job")
+	}
+	got := sj.ByPath(strings.Join(path, "/"))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ByPath: indexed %d ops, Find %d", len(got), len(want))
+	}
+}
+
+func TestStoreIDsSortedAndArchive(t *testing.T) {
+	g := testOutput(t, "Giraph", "BFS")
+	pg := testOutput(t, "PowerGraph", "BFS")
+	s := NewStore()
+	s.Put(pg.Job, summarize(JobRequest{Algorithm: "BFS"}, pg))
+	s.Put(g.Job, summarize(JobRequest{Algorithm: "BFS"}, g))
+
+	ids := s.IDs()
+	if !sort.StringsAreSorted(ids) {
+		t.Fatalf("IDs not sorted: %v", ids)
+	}
+	a := s.Archive()
+	if len(a.Jobs) != 2 {
+		t.Fatalf("archive has %d jobs, want 2", len(a.Jobs))
+	}
+	for i, id := range ids {
+		if a.Jobs[i].ID != id {
+			t.Fatalf("archive job %d = %s, want %s", i, a.Jobs[i].ID, id)
+		}
+	}
+	if one := s.Archive(g.Job.ID); len(one.Jobs) != 1 || one.Jobs[0] != g.Job {
+		t.Fatalf("Archive(%s) wrong", g.Job.ID)
+	}
+}
+
+func TestStoreMissionsActorsSorted(t *testing.T) {
+	out := testOutput(t, "PowerGraph", "BFS")
+	s := NewStore()
+	s.Put(out.Job, summarize(JobRequest{Algorithm: "BFS"}, out))
+	sj, _ := s.Get(out.Job.ID)
+	if m := sj.Missions(); !sort.StringsAreSorted(m) || len(m) == 0 {
+		t.Fatalf("Missions bad: %v", m)
+	}
+	if a := sj.Actors(); !sort.StringsAreSorted(a) || len(a) == 0 {
+		t.Fatalf("Actors bad: %v", a)
+	}
+}
