@@ -1,7 +1,14 @@
 // Command granula-serve runs the Granula performance-archive service: a
 // long-running HTTP server whose bounded executor pool runs (platform,
 // algorithm, graph) simulations concurrently and publishes the analyzed
-// archives to an indexed in-memory store.
+// archives to an indexed store.
+//
+// By default the store is in-memory and a restart loses every archive.
+// With -data-dir the store is backed by the archivedb storage engine: a
+// CRC32-framed write-ahead log with segment rotation, index snapshots,
+// and background compaction. Every archive acked as "done" is then
+// durable — restarting against the same directory serves byte-identical
+// /archive and /query responses.
 //
 // API (all JSON unless noted):
 //
@@ -14,17 +21,20 @@
 //	GET    /jobs/{id}/viz/{kind}  breakdown|cpu|gantt (SVG), tree (text), report (HTML)
 //	POST   /diff                  regression verdicts between two stored jobs
 //	GET    /healthz               liveness + coarse load
-//	GET    /metrics               Prometheus text format
+//	GET    /metrics               Prometheus text format (incl. storage gauges with -data-dir)
 //
 // With -loadtest N the command instead starts an in-process server on a
 // loopback port, hammers it with N concurrent jobs plus archive reads,
-// prints throughput and latency, and exits.
+// prints throughput and latency, and exits. With -storagebench N it
+// benchmarks the storage engine (append throughput, compaction,
+// recovery replay) and exits.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -32,77 +42,155 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/archivedb"
 	"repro/internal/service"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 4, "executor pool size")
-	queueCap := flag.Int("queue", 64, "bounded job-queue capacity")
-	loadtest := flag.Int("loadtest", 0, "run a self-contained load test with N jobs, print stats, exit")
-	concurrency := flag.Int("concurrency", 8, "load-test client goroutines")
-	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
 
-	store := service.NewStore()
-	metrics := service.NewMetrics()
-	exec := service.NewExecutor(*workers, *queueCap, store, metrics)
-	srv := service.NewServer(exec, store, metrics)
+// serveConfig is the parsed command line.
+type serveConfig struct {
+	addr         string
+	workers      int
+	queueCap     int
+	dataDir      string
+	noSync       bool
+	loadtest     int
+	storagebench int
+	concurrency  int
+	drain        time.Duration
+}
 
-	if *loadtest > 0 {
-		os.Exit(runLoadTest(srv, exec, *loadtest, *concurrency, *drain))
+// parseFlags parses args into a serveConfig without touching globals,
+// so tests can drive every mode.
+func parseFlags(args []string, stderr io.Writer) (*serveConfig, error) {
+	fs := flag.NewFlagSet("granula-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &serveConfig{}
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.workers, "workers", 4, "executor pool size")
+	fs.IntVar(&cfg.queueCap, "queue", 64, "bounded job-queue capacity")
+	fs.StringVar(&cfg.dataDir, "data-dir", "", "durable archive directory (empty = in-memory store, lost on restart)")
+	fs.BoolVar(&cfg.noSync, "no-sync", false, "skip fsync per archive write (faster; a machine crash may lose acked jobs)")
+	fs.IntVar(&cfg.loadtest, "loadtest", 0, "run a self-contained load test with N jobs, print stats, exit")
+	fs.IntVar(&cfg.storagebench, "storagebench", 0, "benchmark the storage engine with N jobs, print stats, exit")
+	fs.IntVar(&cfg.concurrency, "concurrency", 8, "load-test client goroutines")
+	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "graceful-shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "granula-serve: unexpected arguments: %v\n", fs.Args())
+		return nil, fmt.Errorf("unexpected arguments")
+	}
+	return cfg, nil
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stderr io.Writer) int {
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		return 2
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	if cfg.storagebench > 0 {
+		res, err := service.RunStorageBench(service.StorageBenchConfig{
+			Dir:  cfg.dataDir,
+			Jobs: cfg.storagebench,
+			Sync: !cfg.noSync,
+			Out:  stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "granula-serve: storagebench: %v\n", err)
+			return 1
+		}
+		fmt.Print(res.Render())
+		return 0
+	}
+
+	var db *archivedb.DB
+	if cfg.dataDir != "" {
+		db, err = archivedb.Open(cfg.dataDir, archivedb.Options{NoSync: cfg.noSync})
+		if err != nil {
+			fmt.Fprintf(stderr, "granula-serve: %v\n", err)
+			return 1
+		}
+		defer db.Close()
+	}
+	store, err := service.NewStoreWithDB(db)
+	if err != nil {
+		fmt.Fprintf(stderr, "granula-serve: %v\n", err)
+		return 1
+	}
+	if db != nil {
+		fmt.Fprintf(stderr, "granula-serve: data dir %s (%d archived jobs restored)\n",
+			cfg.dataDir, store.Len())
+	}
+	metrics := service.NewMetrics()
+	exec := service.NewExecutor(cfg.workers, cfg.queueCap, store, metrics)
+	srv := service.NewServer(exec, store, metrics)
+
+	if cfg.loadtest > 0 {
+		return runLoadTest(srv, exec, cfg, stderr)
+	}
+	return serve(srv, exec, cfg, stderr)
+}
+
+// serve runs the long-lived HTTP server until SIGINT/SIGTERM.
+func serve(srv *service.Server, exec *service.Executor, cfg *serveConfig, stderr io.Writer) int {
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		fmt.Fprintln(os.Stderr, "granula-serve: shutting down, draining jobs...")
-		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		fmt.Fprintln(stderr, "granula-serve: shutting down, draining jobs...")
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 		defer cancel()
 		httpSrv.Shutdown(ctx)
 		if err := exec.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "granula-serve: drain incomplete: %v\n", err)
+			fmt.Fprintf(stderr, "granula-serve: drain incomplete: %v\n", err)
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "granula-serve: listening on %s (%d workers, queue %d)\n",
-		*addr, *workers, *queueCap)
+	fmt.Fprintf(stderr, "granula-serve: listening on %s (%d workers, queue %d)\n",
+		cfg.addr, cfg.workers, cfg.queueCap)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintf(os.Stderr, "granula-serve: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "granula-serve: %v\n", err)
+		return 1
 	}
 	<-done
+	return 0
 }
 
 // runLoadTest serves on a loopback port and drives the API from the
 // same process — the zero-setup throughput demonstration.
-func runLoadTest(srv *service.Server, exec *service.Executor, jobs, concurrency int, drain time.Duration) int {
+func runLoadTest(srv *service.Server, exec *service.Executor, cfg *serveConfig, stderr io.Writer) int {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "granula-serve: %v\n", err)
+		fmt.Fprintf(stderr, "granula-serve: %v\n", err)
 		return 1
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go httpSrv.Serve(ln)
 	base := "http://" + ln.Addr().String()
-	fmt.Fprintf(os.Stderr, "granula-serve: load-testing %s with %d jobs (%d clients)\n",
-		base, jobs, concurrency)
+	fmt.Fprintf(stderr, "granula-serve: load-testing %s with %d jobs (%d clients)\n",
+		base, cfg.loadtest, cfg.concurrency)
 
 	res, err := service.RunLoadTest(service.LoadTestConfig{
 		BaseURL:     base,
-		Jobs:        jobs,
-		Concurrency: concurrency,
-		Out:         os.Stderr,
+		Jobs:        cfg.loadtest,
+		Concurrency: cfg.concurrency,
+		Out:         stderr,
 	})
-	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	httpSrv.Shutdown(ctx)
 	exec.Shutdown(ctx)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "granula-serve: loadtest: %v\n", err)
+		fmt.Fprintf(stderr, "granula-serve: loadtest: %v\n", err)
 		return 1
 	}
 	fmt.Print(res.Render())

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	cfg, err := parseFlags(nil, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":8080" || cfg.workers != 4 || cfg.queueCap != 64 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if cfg.dataDir != "" || cfg.noSync || cfg.loadtest != 0 || cfg.storagebench != 0 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if cfg.drain != 30*time.Second {
+		t.Fatalf("drain default = %v", cfg.drain)
+	}
+}
+
+func TestParseFlagsValues(t *testing.T) {
+	var buf bytes.Buffer
+	cfg, err := parseFlags([]string{
+		"-addr", ":9999", "-workers", "2", "-queue", "8",
+		"-data-dir", "/tmp/x", "-no-sync", "-loadtest", "5",
+		"-concurrency", "3", "-drain", "5s",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":9999" || cfg.workers != 2 || cfg.queueCap != 8 ||
+		cfg.dataDir != "/tmp/x" || !cfg.noSync || cfg.loadtest != 5 ||
+		cfg.concurrency != 3 || cfg.drain != 5*time.Second {
+		t.Fatalf("parsed config wrong: %+v", cfg)
+	}
+}
+
+func TestParseFlagsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-definitely-not-a-flag"},
+		{"-workers", "notanumber"},
+		{"stray-positional"},
+	} {
+		var buf bytes.Buffer
+		if _, err := parseFlags(args, &buf); err == nil {
+			t.Fatalf("parseFlags(%v) accepted bad input", args)
+		}
+		if code := run(args, &buf); code != 2 {
+			t.Fatalf("run(%v) = %d, want exit code 2", args, code)
+		}
+	}
+}
+
+// TestLoadTestSmoke runs the -loadtest mode at reduced scale: a real
+// in-process HTTP server, two jobs, and the full read fan-out.
+func TestLoadTestSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	code := run([]string{"-loadtest", "2", "-concurrency", "2", "-workers", "2"}, &buf)
+	if code != 0 {
+		t.Fatalf("run -loadtest 2 = %d, want 0\noutput:\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "2/2 jobs") && !strings.Contains(buf.String(), "load-testing") {
+		t.Fatalf("loadtest produced no progress output:\n%s", buf.String())
+	}
+}
+
+// TestLoadTestWithDataDir runs the load test against a durable store
+// and then verifies the archives survive into a second run() via the
+// same data directory.
+func TestLoadTestWithDataDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "archives")
+	var buf bytes.Buffer
+	code := run([]string{"-loadtest", "2", "-concurrency", "2", "-workers", "2",
+		"-data-dir", dir, "-no-sync"}, &buf)
+	if code != 0 {
+		t.Fatalf("run -loadtest with -data-dir = %d, want 0\noutput:\n%s", code, buf.String())
+	}
+
+	buf.Reset()
+	code = run([]string{"-loadtest", "1", "-concurrency", "1", "-workers", "1",
+		"-data-dir", dir, "-no-sync"}, &buf)
+	if code != 0 {
+		t.Fatalf("second run over same data dir = %d, want 0\noutput:\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "archived jobs restored") {
+		t.Fatalf("second run did not restore archives:\n%s", buf.String())
+	}
+}
+
+// TestStorageBenchSmoke runs -storagebench at reduced scale.
+func TestStorageBenchSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	code := run([]string{"-storagebench", "25"}, &buf)
+	if code != 0 {
+		t.Fatalf("run -storagebench 25 = %d, want 0\noutput:\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "[storagebench]") {
+		t.Fatalf("storagebench produced no progress output:\n%s", buf.String())
+	}
+}

@@ -275,6 +275,9 @@ func Load(r io.Reader) (*Archive, error) {
 		return nil, fmt.Errorf("archive: unsupported format version %d", a.Version)
 	}
 	for _, j := range a.Jobs {
+		if j == nil {
+			return nil, fmt.Errorf("archive: null job entry")
+		}
 		if j.Root != nil {
 			j.Root.link(nil)
 		}

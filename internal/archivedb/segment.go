@@ -1,0 +1,72 @@
+package archivedb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// segmentName returns the file name of segment n, e.g. "seg-00000001.wal".
+func segmentName(n uint64) string {
+	return fmt.Sprintf("seg-%08d.wal", n)
+}
+
+// parseSegmentName extracts the segment number from a file name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+		return 0, false
+	}
+	num := strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal")
+	n, err := strconv.ParseUint(num, 10, 64)
+	if err != nil || n == 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the segment numbers present in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("archivedb: list segments: %w", err)
+	}
+	var nums []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if n, ok := parseSegmentName(e.Name()); ok {
+			nums = append(nums, n)
+		}
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	return nums, nil
+}
+
+// syncDir fsyncs a directory so entry creation, rename, and removal are
+// durable. Some filesystems reject directory fsync; that is not fatal.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// segState is the engine's per-segment accounting: file size plus how
+// many bytes of it the index still points at. size - liveBytes is the
+// garbage that compaction can reclaim.
+type segState struct {
+	size      int64
+	live      int
+	liveBytes int64
+}
+
+// segmentPath returns the absolute path of segment n under dir.
+func segmentPath(dir string, n uint64) string {
+	return filepath.Join(dir, segmentName(n))
+}

@@ -1,0 +1,124 @@
+package archivedb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// snapshotName is the index snapshot file inside the data directory. It
+// is written atomically (temp file + rename) and is purely a replay
+// accelerator: the WAL is self-contained, so a missing, stale, or
+// corrupt snapshot falls back to a full replay, never to data loss.
+const snapshotName = "snapshot.json"
+
+// snapshotVersion pins the snapshot schema.
+const snapshotVersion = 1
+
+// snapshotEntry is one live job in the snapshot: its WAL location plus
+// the secondary-index metadata the serving store computes at Put time.
+type snapshotEntry struct {
+	ID   string    `json:"id"`
+	Seg  uint64    `json:"seg"`
+	Off  int64     `json:"off"`
+	Size int64     `json:"size"`
+	Meta IndexMeta `json:"meta"`
+}
+
+// snapshotFile is the on-disk snapshot schema. Replay resumes at
+// (Seg, Off); everything before that position is captured by Entries.
+type snapshotFile struct {
+	Version int             `json:"version"`
+	Seg     uint64          `json:"seg"`
+	Off     int64           `json:"off"`
+	Entries []snapshotEntry `json:"entries"`
+}
+
+// writeSnapshotLocked persists the current index. Callers hold db.mu.
+func (db *DB) writeSnapshotLocked() error {
+	snap := snapshotFile{
+		Version: snapshotVersion,
+		Seg:     db.activeSeg,
+		Off:     db.activeSize,
+	}
+	ids := make([]string, 0, len(db.index))
+	for id := range db.index {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		loc := db.index[id]
+		snap.Entries = append(snap.Entries, snapshotEntry{
+			ID: id, Seg: loc.seg, Off: loc.off, Size: loc.size, Meta: loc.meta,
+		})
+	}
+	buf, err := json.Marshal(&snap)
+	if err != nil {
+		return fmt.Errorf("archivedb: encode snapshot: %w", err)
+	}
+	tmp := filepath.Join(db.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("archivedb: snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("archivedb: snapshot: %w", err)
+	}
+	if !db.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("archivedb: snapshot sync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("archivedb: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotName)); err != nil {
+		return fmt.Errorf("archivedb: snapshot rename: %w", err)
+	}
+	syncDir(db.dir)
+	db.stats.Snapshots++
+	db.appendsSinceSnapshot = 0
+	return nil
+}
+
+// loadSnapshot reads the snapshot if present. A missing or undecodable
+// snapshot returns (nil, discarded) — recovery then replays the whole
+// WAL, which is slower but complete.
+func loadSnapshot(dir string) (snap *snapshotFile, discarded bool) {
+	buf, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if err != nil {
+		return nil, !os.IsNotExist(err)
+	}
+	var s snapshotFile
+	if err := json.Unmarshal(buf, &s); err != nil || s.Version != snapshotVersion {
+		return nil, true
+	}
+	return &s, false
+}
+
+// validateSnapshot checks every reference against the segment files on
+// disk: the replay position and each entry must land inside an existing
+// segment. A snapshot written just before a crash that also tore the
+// WAL tail can point past the surviving bytes; such a snapshot is
+// discarded rather than trusted.
+func validateSnapshot(snap *snapshotFile, sizes map[uint64]int64) bool {
+	if size, ok := sizes[snap.Seg]; !ok || snap.Off > size || snap.Off < segmentHeaderSize {
+		return false
+	}
+	for _, e := range snap.Entries {
+		size, ok := sizes[e.Seg]
+		if !ok || e.Off < segmentHeaderSize || e.Size <= 0 || e.Off+e.Size > size {
+			return false
+		}
+		// Entries must be at or before the replay position, otherwise
+		// replay would double-apply them.
+		if e.Seg > snap.Seg || (e.Seg == snap.Seg && e.Off+e.Size > snap.Off) {
+			return false
+		}
+	}
+	return true
+}

@@ -273,7 +273,13 @@ func (e *Executor) worker() {
 			e.setFailed(id, err)
 			continue
 		}
-		e.store.Put(job, sum)
+		// A job is only "done" once its archive is durable: if the
+		// write-through store cannot persist it, the job fails rather
+		// than acking a result a restart would lose.
+		if err := e.store.Put(job, sum); err != nil {
+			e.setFailed(id, fmt.Errorf("persist archive: %w", err))
+			continue
+		}
 		e.setDone(id, sum)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+
+	"repro/internal/archivedb"
 )
 
 // latencyBuckets are the fixed histogram bucket upper bounds in
@@ -124,8 +126,10 @@ func formatFloat(v float64) string {
 
 // WritePrometheus renders the registry in Prometheus text exposition
 // format. queueDepth and storeJobs are gauges sampled by the caller at
-// scrape time.
-func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, storeJobs int) {
+// scrape time; storage is the archivedb engine's counters, nil when
+// the store runs without durability (the storage family is then
+// omitted entirely).
+func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, storeJobs int, storage *archivedb.Stats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -160,4 +164,25 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, storeJobs int) {
 	fmt.Fprintln(w, "# HELP granula_store_jobs Archived jobs held in the store.")
 	fmt.Fprintln(w, "# TYPE granula_store_jobs gauge")
 	fmt.Fprintf(w, "granula_store_jobs %d\n", storeJobs)
+
+	if storage == nil {
+		return
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("granula_storage_segments", "WAL segment files on disk.", int64(storage.Segments))
+	gauge("granula_storage_live_jobs", "Live records in the storage engine.", int64(storage.LiveJobs))
+	gauge("granula_storage_live_bytes", "WAL bytes referenced by live records.", storage.LiveBytes)
+	gauge("granula_storage_dead_bytes", "WAL bytes reclaimable by compaction.", storage.DeadBytes)
+	gauge("granula_storage_wal_bytes", "Total WAL bytes on disk.", storage.WALBytes)
+	counter("granula_storage_compactions_total", "Completed compactions.", storage.Compactions)
+	counter("granula_storage_reclaimed_bytes_total", "Bytes reclaimed by compaction.", uint64(storage.ReclaimedBytes))
+	counter("granula_storage_snapshots_total", "Index snapshots written.", storage.Snapshots)
+	gauge("granula_storage_recovery_replayed_records", "WAL records replayed at the last open.", int64(storage.RecoveredRecords))
+	gauge("granula_storage_recovery_snapshot_records", "Index entries restored from the snapshot at the last open.", int64(storage.RecoveredFromSnapshot))
+	gauge("granula_storage_recovery_truncated_bytes", "Torn-tail bytes truncated at the last open.", storage.TruncatedBytes)
 }

@@ -361,5 +361,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w, s.exec.QueueDepth(), s.store.Len())
+	s.metrics.WritePrometheus(w, s.exec.QueueDepth(), s.store.Len(), s.store.StorageStats())
 }

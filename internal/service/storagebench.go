@@ -1,0 +1,224 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/archivedb"
+)
+
+// StorageBenchConfig drives RunStorageBench, the -storagebench mode of
+// cmd/granula-serve: a self-contained measurement of the archivedb
+// engine's append throughput, reopen (recovery) time, and compaction
+// reclamation, using synthetic but realistically shaped archive
+// payloads.
+type StorageBenchConfig struct {
+	// Dir is the data directory; empty selects a temp directory that
+	// is removed afterwards.
+	Dir string
+	// Jobs is the number of archives to append; 0 selects 1000.
+	Jobs int
+	// OpsPerJob sizes each synthetic operation tree; 0 selects 64.
+	OpsPerJob int
+	// Rewrites is how many times each job is re-Put to create garbage
+	// for compaction; 0 selects 2.
+	Rewrites int
+	// SegmentSize overrides the engine default when > 0.
+	SegmentSize int64
+	// Sync enables fsync-per-append (the durable default); the bench
+	// defaults to no-sync so it measures the engine, not the disk.
+	Sync bool
+	// Out receives progress lines; nil discards them.
+	Out io.Writer
+}
+
+// StorageBenchResult reports one bench run.
+type StorageBenchResult struct {
+	Jobs         int
+	PayloadBytes int // size of one encoded payload
+	Appends      int
+
+	AppendWall    time.Duration
+	AppendsPerSec float64
+	AppendMBps    float64
+
+	WALBytesBeforeCompact int64
+	CompactWall           time.Duration
+	ReclaimedBytes        int64
+	WALBytesAfterCompact  int64
+
+	ReopenWall      time.Duration
+	ReplayedRecords int
+	SnapshotRecords int
+	FinalJobs       int
+}
+
+// benchJob builds a deterministic synthetic archive job whose shape
+// (root → supersteps → per-worker leaves) matches what the platform
+// harness emits, so payload encode/decode costs are representative.
+func benchJob(id string, ops int) *archive.Job {
+	root := &archive.Operation{
+		ID: id + "-root", Actor: "Master", Mission: "GiraphJob",
+		Start: 0, End: float64(ops),
+		Infos: map[string]string{"dataset": "bench", "algorithm": "PageRank"},
+	}
+	for i := 0; len(flatten(root)) < ops; i++ {
+		ss := &archive.Operation{
+			ID: fmt.Sprintf("%s-ss-%d", id, i), Actor: "Master", Mission: "Superstep",
+			Start: float64(i), End: float64(i + 1),
+			Infos: map[string]string{"superstep": fmt.Sprintf("%d", i)},
+		}
+		for w := 0; w < 7; w++ {
+			ss.Children = append(ss.Children, &archive.Operation{
+				ID: fmt.Sprintf("%s-ss-%d-w-%d", id, i, w), Actor: fmt.Sprintf("Worker%d", w),
+				Mission: "ProcessPartition",
+				Start:   float64(i), End: float64(i) + 0.9,
+				Infos: map[string]string{"messages": "12345", "vertices": "250"},
+			})
+		}
+		root.Children = append(root.Children, ss)
+	}
+	return &archive.Job{ID: id, Platform: "Giraph", Root: root}
+}
+
+func flatten(op *archive.Operation) []*archive.Operation {
+	var out []*archive.Operation
+	op.Walk(func(o *archive.Operation) { out = append(out, o) })
+	return out
+}
+
+// RunStorageBench measures append, compaction, and reopen performance
+// of the storage engine, in that order, over one data directory.
+func RunStorageBench(cfg StorageBenchConfig) (*StorageBenchResult, error) {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 1000
+	}
+	if cfg.OpsPerJob <= 0 {
+		cfg.OpsPerJob = 64
+	}
+	if cfg.Rewrites <= 0 {
+		cfg.Rewrites = 2
+	}
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "granula-storagebench-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	// Background compaction is disabled so each phase measures exactly
+	// one thing: phase 1 pure appends, phase 2 one explicit compaction.
+	opts := archivedb.Options{NoSync: !cfg.Sync, SegmentSize: cfg.SegmentSize, NoBackground: true}
+
+	db, err := archivedb.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &StorageBenchResult{Jobs: cfg.Jobs}
+
+	// Phase 1: append throughput. Every job is Put Rewrites+1 times;
+	// the re-Puts double as the garbage generator for phase 2.
+	job := benchJob("bench", cfg.OpsPerJob)
+	sum := Summary{ID: "bench", Platform: "Giraph", Algorithm: "PageRank", Runtime: 1}
+	payload, err := json.Marshal(persistedJob{Summary: sum, Job: job})
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	res.PayloadBytes = len(payload)
+	meta := archivedb.IndexMeta{
+		Missions: []string{"GiraphJob", "ProcessPartition", "Superstep"},
+		Actors:   []string{"Master", "Worker0"},
+		Paths:    []string{"GiraphJob", "GiraphJob/Superstep"},
+	}
+	fmt.Fprintf(cfg.Out, "[storagebench] appending %d jobs × %d writes (%d-byte payloads, sync=%v)\n",
+		cfg.Jobs, cfg.Rewrites+1, res.PayloadBytes, cfg.Sync)
+	start := time.Now()
+	for round := 0; round <= cfg.Rewrites; round++ {
+		for i := 0; i < cfg.Jobs; i++ {
+			if err := db.Put(fmt.Sprintf("job-%06d", i), payload, meta); err != nil {
+				db.Close()
+				return nil, err
+			}
+			res.Appends++
+		}
+	}
+	res.AppendWall = time.Since(start)
+	if s := res.AppendWall.Seconds(); s > 0 {
+		res.AppendsPerSec = float64(res.Appends) / s
+		res.AppendMBps = float64(res.Appends) * float64(res.PayloadBytes) / s / (1 << 20)
+	}
+
+	// Phase 2: compaction. The rewrites above left all but the last
+	// round as garbage.
+	res.WALBytesBeforeCompact = db.Stats().WALBytes
+	start = time.Now()
+	if err := db.Compact(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	res.CompactWall = time.Since(start)
+	st := db.Stats()
+	res.ReclaimedBytes = st.ReclaimedBytes
+	res.WALBytesAfterCompact = st.WALBytes
+	if err := db.Close(); err != nil {
+		return nil, err
+	}
+
+	// Phase 3a: reopen with the snapshot Close just wrote.
+	start = time.Now()
+	db2, err := archivedb.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	snapOpen := time.Since(start)
+	snapStats := db2.Stats()
+	res.SnapshotRecords = snapStats.RecoveredFromSnapshot
+	res.FinalJobs = db2.Len()
+	if err := db2.Close(); err != nil {
+		return nil, err
+	}
+
+	// Phase 3b: reopen with the snapshot removed — the full-WAL-replay
+	// recovery path, the worst case after a crash.
+	os.Remove(dir + "/snapshot.json")
+	start = time.Now()
+	db3, err := archivedb.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.ReopenWall = time.Since(start)
+	res.ReplayedRecords = db3.Stats().RecoveredRecords
+	if db3.Len() != res.FinalJobs {
+		db3.Close()
+		return nil, fmt.Errorf("storagebench: replay recovered %d jobs, snapshot recovered %d",
+			db3.Len(), res.FinalJobs)
+	}
+	if err := db3.Close(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.Out, "[storagebench] snapshot reopen %s, replay reopen %s\n", snapOpen, res.ReopenWall)
+	return res, nil
+}
+
+// Render formats the result for terminals.
+func (r *StorageBenchResult) Render() string {
+	return fmt.Sprintf(
+		"storagebench: %d appends of %d-byte archives in %.2fs — %.0f appends/s, %.1f MiB/s\n"+
+			"compaction: %s, reclaimed %.1f MiB (%.1f → %.1f MiB WAL)\n"+
+			"recovery: full replay of %d records in %s (%d live jobs)\n",
+		r.Appends, r.PayloadBytes, r.AppendWall.Seconds(), r.AppendsPerSec, r.AppendMBps,
+		r.CompactWall, float64(r.ReclaimedBytes)/(1<<20),
+		float64(r.WALBytesBeforeCompact)/(1<<20), float64(r.WALBytesAfterCompact)/(1<<20),
+		r.ReplayedRecords, r.ReopenWall, r.FinalJobs)
+}

@@ -12,11 +12,14 @@
 package service
 
 import (
+	"encoding/json"
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/archive"
+	"repro/internal/archivedb"
 )
 
 // Summary is the condensed result of one analyzed job, suitable for a
@@ -110,29 +113,118 @@ func (sj *StoredJob) Actors() []string {
 	return out
 }
 
-// Store is the in-memory performance-archive store: completed jobs
-// keyed by job ID, each with its secondary indexes. It is safe for
-// concurrent readers and writers.
+// Paths returns the distinct mission paths present in the job, sorted.
+func (sj *StoredJob) Paths() []string {
+	out := make([]string, 0, len(sj.byPath))
+	for p := range sj.byPath {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// indexMeta projects the job's secondary-index keys into the form
+// archivedb persists next to each record.
+func (sj *StoredJob) indexMeta() archivedb.IndexMeta {
+	return archivedb.IndexMeta{
+		Missions: sj.Missions(),
+		Actors:   sj.Actors(),
+		Paths:    sj.Paths(),
+	}
+}
+
+// persistedJob is the archivedb payload schema: the serving summary
+// plus the full performance archive of one job. encoding/json emits
+// struct fields in declaration order and map keys sorted, so the bytes
+// are deterministic for a given job.
+type persistedJob struct {
+	Summary Summary      `json:"summary"`
+	Job     *archive.Job `json:"job"`
+}
+
+// Store is the performance-archive store: completed jobs keyed by job
+// ID, each with its secondary indexes. Without a database it is purely
+// in-memory (a restart loses everything); with one it is a
+// write-through cache — Put persists to the WAL before publishing to
+// readers, and opening a store over an existing database restores
+// every archived job. It is safe for concurrent readers and writers.
 type Store struct {
 	mu   sync.RWMutex
 	jobs map[string]*StoredJob
+	db   *archivedb.DB
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty in-memory store with no durability.
 func NewStore() *Store {
 	return &Store{jobs: map[string]*StoredJob{}}
+}
+
+// NewStoreWithDB returns a store backed by db, warmed with every job
+// already persisted in it. A nil db degrades to NewStore.
+func NewStoreWithDB(db *archivedb.DB) (*Store, error) {
+	s := NewStore()
+	s.db = db
+	if db == nil {
+		return s, nil
+	}
+	for _, id := range db.IDs() {
+		payload, ok, err := db.Get(id)
+		if err != nil {
+			return nil, fmt.Errorf("service: load job %q: %w", id, err)
+		}
+		if !ok {
+			continue
+		}
+		var pj persistedJob
+		if err := json.Unmarshal(payload, &pj); err != nil {
+			return nil, fmt.Errorf("service: decode job %q: %w", id, err)
+		}
+		if pj.Job == nil {
+			return nil, fmt.Errorf("service: job %q persisted without an archive", id)
+		}
+		archive.New().Add(pj.Job) // restore parent links and child order
+		s.jobs[id] = indexJob(pj.Job, pj.Summary)
+	}
+	return s, nil
+}
+
+// DB returns the backing database, or nil for an in-memory store.
+func (s *Store) DB() *archivedb.DB { return s.db }
+
+// StorageStats returns the backing engine's stats, or nil when the
+// store is in-memory.
+func (s *Store) StorageStats() *archivedb.Stats {
+	if s.db == nil {
+		return nil
+	}
+	st := s.db.Stats()
+	return &st
 }
 
 // Put indexes and stores a completed job under its summary ID. Adding
 // the job to a throwaway archive first restores parent links and child
 // ordering, so path keys are correct for jobs fresh out of the harness
 // (Load-ed archives are already linked; relinking is idempotent).
-func (s *Store) Put(job *archive.Job, sum Summary) {
+//
+// With a backing database the job is persisted before it becomes
+// visible to readers; an error means the job is neither durable nor
+// published.
+func (s *Store) Put(job *archive.Job, sum Summary) error {
 	archive.New().Add(job)
 	sj := indexJob(job, sum)
+	if s.db != nil {
+		payload, err := json.Marshal(persistedJob{Summary: sum, Job: job})
+		if err != nil {
+			return fmt.Errorf("service: encode job %q: %w", sum.ID, err)
+		}
+		if err := s.db.Put(sum.ID, payload, sj.indexMeta()); err != nil {
+			return err
+		}
+	}
 	s.mu.Lock()
 	s.jobs[sum.ID] = sj
 	s.mu.Unlock()
+	return nil
 }
 
 // Get returns the stored job with the given ID.
