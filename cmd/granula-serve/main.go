@@ -28,6 +28,12 @@
 // prints throughput and latency, and exits. With -storagebench N it
 // benchmarks the storage engine (append throughput, compaction,
 // recovery replay) and exits.
+//
+// With -chaos SPEC a deterministic, seedable fault injector is armed
+// across the stack (storage appends/reads, the executor run path, and
+// the HTTP handlers), e.g. -chaos "rate=0.05,seed=7,kinds=error+torn".
+// Combined with -loadtest this measures throughput and recovery under
+// injected failures; see internal/faults for the spec grammar.
 package main
 
 import (
@@ -43,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/archivedb"
+	"repro/internal/faults"
 	"repro/internal/service"
 )
 
@@ -61,6 +68,8 @@ type serveConfig struct {
 	storagebench int
 	concurrency  int
 	drain        time.Duration
+	jobTimeout   time.Duration
+	chaos        string
 }
 
 // parseFlags parses args into a serveConfig without touching globals,
@@ -78,8 +87,16 @@ func parseFlags(args []string, stderr io.Writer) (*serveConfig, error) {
 	fs.IntVar(&cfg.storagebench, "storagebench", 0, "benchmark the storage engine with N jobs, print stats, exit")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "load-test client goroutines")
 	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "graceful-shutdown drain budget")
+	fs.DurationVar(&cfg.jobTimeout, "job-timeout", 0, "default per-job deadline applied when a submit carries none (0 = unlimited)")
+	fs.StringVar(&cfg.chaos, "chaos", "", `fault-injection spec, e.g. "rate=0.1,seed=7,kinds=error+latency+torn" (see internal/faults)`)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if cfg.chaos != "" {
+		if _, err := faults.Parse(cfg.chaos); err != nil {
+			fmt.Fprintf(stderr, "granula-serve: -chaos: %v\n", err)
+			return nil, err
+		}
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "granula-serve: unexpected arguments: %v\n", fs.Args())
@@ -110,27 +127,41 @@ func run(args []string, stderr io.Writer) int {
 		return 0
 	}
 
+	var inj *faults.Injector
+	if cfg.chaos != "" {
+		inj, _ = faults.Parse(cfg.chaos) // validated by parseFlags
+		fmt.Fprintf(stderr, "granula-serve: chaos mode: %s\n", inj.Describe())
+	}
+
 	var db *archivedb.DB
 	if cfg.dataDir != "" {
-		db, err = archivedb.Open(cfg.dataDir, archivedb.Options{NoSync: cfg.noSync})
+		dbOpts := archivedb.Options{NoSync: cfg.noSync}
+		if inj != nil {
+			dbOpts.Injector = inj
+		}
+		db, err = archivedb.Open(cfg.dataDir, dbOpts)
 		if err != nil {
 			fmt.Fprintf(stderr, "granula-serve: %v\n", err)
 			return 1
 		}
 		defer db.Close()
 	}
-	store, err := service.NewStoreWithDB(db)
+	metrics := service.NewMetrics()
+	store, err := service.NewStoreWithOptions(db, service.StoreOptions{Metrics: metrics})
 	if err != nil {
 		fmt.Fprintf(stderr, "granula-serve: %v\n", err)
 		return 1
 	}
+	defer store.Close()
 	if db != nil {
 		fmt.Fprintf(stderr, "granula-serve: data dir %s (%d archived jobs restored)\n",
 			cfg.dataDir, store.Len())
 	}
-	metrics := service.NewMetrics()
-	exec := service.NewExecutor(cfg.workers, cfg.queueCap, store, metrics)
-	srv := service.NewServer(exec, store, metrics)
+	exec := service.NewExecutorWith(cfg.workers, cfg.queueCap, store, metrics, service.ExecutorOptions{
+		Faults:         inj,
+		DefaultTimeout: cfg.jobTimeout,
+	})
+	srv := service.NewServerWith(exec, store, metrics, service.ServerOptions{Faults: inj})
 
 	if cfg.loadtest > 0 {
 		return runLoadTest(srv, exec, cfg, stderr)
@@ -138,9 +169,24 @@ func run(args []string, stderr io.Writer) int {
 	return serve(srv, exec, cfg, stderr)
 }
 
+// newHTTPServer builds the hardened http.Server: header/read timeouts
+// bound slowloris-style clients, the idle timeout reaps abandoned
+// keep-alive connections. No WriteTimeout — archive and viz responses
+// are large and the executor already bounds job time; per-request body
+// size is capped inside the handlers instead.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // serve runs the long-lived HTTP server until SIGINT/SIGTERM.
 func serve(srv *service.Server, exec *service.Executor, cfg *serveConfig, stderr io.Writer) int {
-	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
+	httpSrv := newHTTPServer(cfg.addr, srv.Handler())
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -173,7 +219,7 @@ func runLoadTest(srv *service.Server, exec *service.Executor, cfg *serveConfig, 
 		fmt.Fprintf(stderr, "granula-serve: %v\n", err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := newHTTPServer("", srv.Handler())
 	go httpSrv.Serve(ln)
 	base := "http://" + ln.Addr().String()
 	fmt.Fprintf(stderr, "granula-serve: load-testing %s with %d jobs (%d clients)\n",

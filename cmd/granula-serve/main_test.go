@@ -23,6 +23,32 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.drain != 30*time.Second {
 		t.Fatalf("drain default = %v", cfg.drain)
 	}
+	if cfg.chaos != "" || cfg.jobTimeout != 0 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestParseFlagsChaos(t *testing.T) {
+	var buf bytes.Buffer
+	cfg, err := parseFlags([]string{
+		"-chaos", "rate=0.1,seed=7,kinds=error+torn", "-job-timeout", "90s",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.chaos != "rate=0.1,seed=7,kinds=error+torn" || cfg.jobTimeout != 90*time.Second {
+		t.Fatalf("parsed config wrong: %+v", cfg)
+	}
+	// A malformed spec is rejected at parse time, before anything starts.
+	if _, err := parseFlags([]string{"-chaos", "rate=2"}, &buf); err == nil {
+		t.Fatal("parseFlags accepted a fault rate above 1")
+	}
+	if _, err := parseFlags([]string{"-chaos", "bogus"}, &buf); err == nil {
+		t.Fatal("parseFlags accepted a malformed chaos spec")
+	}
+	if code := run([]string{"-chaos", "bogus"}, &buf); code != 2 {
+		t.Fatalf("run with bad -chaos = %d, want exit code 2", code)
+	}
 }
 
 func TestParseFlagsValues(t *testing.T) {
@@ -91,6 +117,21 @@ func TestLoadTestWithDataDir(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "archived jobs restored") {
 		t.Fatalf("second run did not restore archives:\n%s", buf.String())
+	}
+}
+
+// TestLoadTestChaosSmoke runs the load test with latency-only fault
+// injection armed: faults fire but no request can fail, so the run must
+// still complete every job.
+func TestLoadTestChaosSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	code := run([]string{"-loadtest", "2", "-concurrency", "2", "-workers", "2",
+		"-chaos", "rate=0.2,seed=7,latency=1ms,kinds=latency"}, &buf)
+	if code != 0 {
+		t.Fatalf("run -loadtest with -chaos = %d, want 0\noutput:\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "chaos mode") {
+		t.Fatalf("chaos run did not announce its fault schedule:\n%s", buf.String())
 	}
 }
 

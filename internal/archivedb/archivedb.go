@@ -42,6 +42,24 @@ type IndexMeta struct {
 	Paths    []string `json:"paths,omitempty"`
 }
 
+// FaultInjector is the hook the engine offers to chaos tests: Fail may
+// veto an operation at a named site, and Mangle may tear a WAL append
+// into a prefix (the engine writes the prefix and fails the append,
+// simulating a crash mid-write that recovery must repair).
+// internal/faults provides the standard implementation.
+type FaultInjector interface {
+	Fail(site string) error
+	Mangle(site string, frame []byte) ([]byte, error)
+}
+
+// Injection sites threaded through the engine.
+const (
+	// SiteAppend guards every WAL append (Put, Delete, Probe).
+	SiteAppend = "archivedb.append"
+	// SiteRead guards every record read (Get).
+	SiteRead = "archivedb.read"
+)
+
 // Options tunes the engine. The zero value selects the durable
 // defaults: 4 MiB segments, fsync on every append, a snapshot every 256
 // appends, compaction at 50% garbage (min 1 MiB), 64 MiB record cap,
@@ -68,6 +86,10 @@ type Options struct {
 	// NoBackground disables the compaction goroutine; Compact can
 	// still be called manually (deterministic tests).
 	NoBackground bool
+	// Injector, when non-nil, receives a callback at each I/O fault
+	// point so chaos tests (and the -chaos flag) can inject errors,
+	// latency, and torn writes into the engine.
+	Injector FaultInjector
 }
 
 func (o Options) normalized() Options {
@@ -276,6 +298,9 @@ func (db *DB) replaySegment(n uint64, off int64, last bool) error {
 			db.setLocked(env.ID, recordLoc{seg: n, off: off, size: frameLen, meta: meta})
 		case opDelete:
 			db.dropLocked(env.ID)
+		case opProbe:
+			// Liveness probes carry no data; their bytes are dead on
+			// arrival and reclaimed by compaction.
 		default:
 			return fmt.Errorf("archivedb: segment %s has unknown wal op %q at offset %d",
 				segmentName(n), env.Op, off)
@@ -369,6 +394,22 @@ func (db *DB) appendLocked(frame []byte) (int64, error) {
 		}
 	}
 	off := db.activeSize
+	if inj := db.opts.Injector; inj != nil {
+		if err := inj.Fail(SiteAppend); err != nil {
+			return 0, fmt.Errorf("archivedb: append: %w", err)
+		}
+		torn, err := inj.Mangle(SiteAppend, frame)
+		if err != nil {
+			// Torn write: persist the prefix exactly as a crash mid-write
+			// would, without advancing activeSize — the next successful
+			// append overwrites it, and a reopen truncates it as a torn
+			// tail. Either way no reader ever sees the partial frame.
+			if len(torn) > 0 {
+				db.active.WriteAt(torn, off)
+			}
+			return 0, fmt.Errorf("archivedb: append: %w", err)
+		}
+	}
 	if _, err := db.active.WriteAt(frame, off); err != nil {
 		return 0, fmt.Errorf("archivedb: append: %w", err)
 	}
@@ -494,6 +535,11 @@ func (db *DB) Get(id string) ([]byte, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
+	if inj := db.opts.Injector; inj != nil {
+		if err := inj.Fail(SiteRead); err != nil {
+			return nil, false, fmt.Errorf("archivedb: read %q: %w", id, err)
+		}
+	}
 	f, err := db.readFileLocked(loc.seg)
 	if err != nil {
 		return nil, false, err
@@ -558,6 +604,29 @@ func (db *DB) Len() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return len(db.index)
+}
+
+// Probe appends (and, unless NoSync, fsyncs) an empty probe record,
+// exercising the same write path as Put: segment rotation, the fault
+// injector, and the disk itself. It is how a circuit breaker's
+// background probe verifies that storage has actually recovered —
+// succeeding only when a real append would. Probe records are invisible
+// to reads, skipped on recovery, and reclaimed by compaction.
+func (db *DB) Probe() error {
+	frame, err := encodeFrame(envelope{Op: opProbe, ID: "_probe"}, nil)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if _, err := db.appendLocked(frame); err != nil {
+		return err
+	}
+	db.afterAppendLocked()
+	return nil
 }
 
 // Snapshot forces an index snapshot now.

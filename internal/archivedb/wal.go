@@ -35,6 +35,10 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 const (
 	opPut    = "put"
 	opDelete = "del"
+	// opProbe is a liveness probe record: it exercises the real append
+	// and fsync path (so a health probe cannot lie about a broken disk)
+	// but carries no data. Recovery skips it; compaction reclaims it.
+	opProbe = "probe"
 )
 
 // envelope is the JSON header inside each frame payload.

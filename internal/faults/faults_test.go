@@ -1,0 +1,169 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if err := inj.Fail("any.site"); err != nil {
+		t.Fatalf("nil injector returned %v", err)
+	}
+	b, err := inj.Mangle("any.site", []byte("abc"))
+	if err != nil || string(b) != "abc" {
+		t.Fatalf("nil injector mangled write: %q %v", b, err)
+	}
+	inj.Disarm()
+	inj.Arm()
+	inj.SetRate(1)
+	if inj.Total() != 0 || inj.Counts() != nil {
+		t.Fatal("nil injector counted faults")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 7, Rate: 0.5, Kinds: []Kind{KindError, KindLatency}, Latency: time.Microsecond}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 200; i++ {
+		ea, eb := a.Fail("site.x"), b.Fail("site.x")
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("hit %d diverged: %v vs %v", i, ea, eb)
+		}
+	}
+	if a.Total() == 0 {
+		t.Fatal("rate 0.5 never fired in 200 hits")
+	}
+	if a.Total() != b.Total() {
+		t.Fatalf("totals diverged: %d vs %d", a.Total(), b.Total())
+	}
+}
+
+func TestRateOneAlwaysFires(t *testing.T) {
+	inj := New(Config{Rate: 1})
+	for i := 0; i < 10; i++ {
+		if err := inj.Fail("s"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if got := inj.Counts()["s"]; got != 10 {
+		t.Fatalf("counted %d faults, want 10", got)
+	}
+}
+
+func TestDisarmStopsFaults(t *testing.T) {
+	inj := New(Config{Rate: 1})
+	if err := inj.Fail("s"); err == nil {
+		t.Fatal("armed injector did not fire")
+	}
+	inj.Disarm()
+	for i := 0; i < 10; i++ {
+		if err := inj.Fail("s"); err != nil {
+			t.Fatalf("disarmed injector fired: %v", err)
+		}
+	}
+	inj.Arm()
+	if err := inj.Fail("s"); err == nil {
+		t.Fatal("re-armed injector did not fire")
+	}
+}
+
+func TestSiteOverrides(t *testing.T) {
+	inj := New(Config{Rate: 1, Sites: map[string]float64{"immune.site": 0}})
+	for i := 0; i < 20; i++ {
+		if err := inj.Fail("immune.site"); err != nil {
+			t.Fatalf("immune site fired: %v", err)
+		}
+	}
+	if err := inj.Fail("other.site"); err == nil {
+		t.Fatal("default-rate site did not fire")
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	inj := New(Config{Rate: 1, Kinds: []Kind{KindPanic}})
+	defer func() {
+		r := recover()
+		if _, ok := r.(PanicValue); !ok {
+			t.Fatalf("recovered %v (%T), want PanicValue", r, r)
+		}
+	}()
+	inj.Fail("s")
+	t.Fatal("panic kind did not panic")
+}
+
+func TestHangRespectsContext(t *testing.T) {
+	inj := New(Config{Rate: 1, Kinds: []Kind{KindHang}})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := inj.FailCtx(ctx, "s")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("hang returned %v, want ErrInjected", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hang did not release on context cancel")
+	}
+	// Without a context, hang degrades to a bounded latency spike.
+	inj2 := New(Config{Rate: 1, Kinds: []Kind{KindHang}, Latency: time.Microsecond})
+	if err := inj2.Fail("s"); err != nil {
+		t.Fatalf("context-free hang returned %v", err)
+	}
+}
+
+func TestTornWriteIsStrictPrefix(t *testing.T) {
+	inj := New(Config{Rate: 1, Kinds: []Kind{KindTorn}})
+	full := []byte("0123456789")
+	b, err := inj.Mangle("w", full)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write returned %v, want ErrInjected", err)
+	}
+	if len(b) >= len(full) || string(b) != string(full[:len(b)]) {
+		t.Fatalf("torn bytes %q are not a strict prefix of %q", b, full)
+	}
+	// Torn never fires at non-write sites; with only KindTorn enabled a
+	// Fail hit draws nothing.
+	if err := inj.Fail("r"); err != nil {
+		t.Fatalf("torn-only injector fired at read site: %v", err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	inj, err := Parse("rate=0.25,seed=9,latency=2ms,kinds=error+torn,sites=archivedb.append:1+http.submit:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inj.Mangle("archivedb.append", []byte("abcdef")); err == nil {
+		t.Fatal("site with rate 1 did not fire")
+	}
+	if err := inj.Fail("http.submit"); err != nil {
+		t.Fatalf("site with rate 0 fired: %v", err)
+	}
+
+	bad := []string{
+		"", "rate=2", "rate=x", "seed=x", "latency=-1s", "latency=x",
+		"kinds=nope", "sites=a", "sites=a:9", "mystery=1", "noequals",
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Fatalf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestDescribeIsDeterministic(t *testing.T) {
+	inj, err := Parse("rate=0.1,seed=3,kinds=error,sites=b.b:0.5+a.a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "faults: rate=0.1 seed=3 latency=1ms kinds=error sites=a.a:1+b.b:0.5"
+	if got := inj.Describe(); got != want {
+		t.Fatalf("Describe = %q, want %q", got, want)
+	}
+	var nilInj *Injector
+	if nilInj.Describe() != "faults: none" {
+		t.Fatal("nil Describe")
+	}
+}

@@ -1,6 +1,7 @@
 package platforms
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -91,6 +92,48 @@ type Output struct {
 // the standard derivation rules, and check the job against the platform's
 // performance model.
 func Run(spec Spec) (*Output, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// watchContext bridges wall-clock cancellation into the simulation: a
+// watcher goroutine interrupts the engine when ctx is canceled, so a
+// hung or oversized simulation is abandoned instead of holding its
+// worker forever. The returned stop func releases the watcher; callers
+// must invoke it before the run returns.
+func watchContext(ctx context.Context, eng *sim.Engine) func() {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			eng.Interrupt()
+		case <-stop:
+		}
+	}()
+	return func() { close(stop); <-done }
+}
+
+// finishErr maps a simulation error back to the caller's context when
+// the run was interrupted by cancellation, so executors can tell a
+// deadline from a genuine model failure.
+func finishErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("platforms: run aborted: %w", ctxErr)
+	}
+	return err
+}
+
+// RunContext is Run with cancellation: when ctx is canceled or its
+// deadline passes, the simulation engine is interrupted between events,
+// its processes are unwound, and the context's error is returned.
+func RunContext(ctx context.Context, spec Spec) (*Output, error) {
 	if spec.Dataset == nil {
 		return nil, fmt.Errorf("platforms: spec needs a dataset")
 	}
@@ -109,21 +152,28 @@ func Run(spec Spec) (*Output, error) {
 	if spec.JobID == "" {
 		spec.JobID = fmt.Sprintf("%s-%s-%s", strings.ToLower(spec.Platform), strings.ToLower(spec.Algorithm), spec.Dataset.Name)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("platforms: run aborted: %w", err)
+	}
 	switch strings.ToLower(spec.Platform) {
 	case "giraph":
-		return runGiraph(spec)
+		return runGiraph(ctx, spec)
 	case "powergraph":
-		return runPowerGraph(spec)
+		return runPowerGraph(ctx, spec)
 	case "openg":
-		return runSingleNode(spec)
+		return runSingleNode(ctx, spec)
 	default:
 		return nil, fmt.Errorf("platforms: unknown platform %q", spec.Platform)
 	}
 }
 
-func runGiraph(spec Spec) (*Output, error) {
+func runGiraph(ctx context.Context, spec Spec) (*Output, error) {
 	eng := sim.NewEngine()
 	defer eng.Shutdown()
+	defer watchContext(ctx, eng)()
 	c := cluster.New(eng, spec.Cluster)
 	cfg := GiraphPaperConfig(spec.Dataset)
 	if spec.Pregel != nil {
@@ -172,14 +222,15 @@ func runGiraph(spec Spec) (*Output, error) {
 		return runErr
 	})
 	if err != nil {
-		return nil, err
+		return nil, finishErr(ctx, err)
 	}
 	return finish(spec, job, core.GiraphModel(), res.Values, res.Supersteps, res.Runtime)
 }
 
-func runPowerGraph(spec Spec) (*Output, error) {
+func runPowerGraph(ctx context.Context, spec Spec) (*Output, error) {
 	eng := sim.NewEngine()
 	defer eng.Shutdown()
+	defer watchContext(ctx, eng)()
 	c := cluster.New(eng, spec.Cluster)
 	cfg := PowerGraphPaperConfig(spec.Dataset)
 	if spec.GAS != nil {
@@ -218,7 +269,7 @@ func runPowerGraph(spec Spec) (*Output, error) {
 		return runErr
 	})
 	if err != nil {
-		return nil, err
+		return nil, finishErr(ctx, err)
 	}
 	out, err := finish(spec, job, core.PowerGraphModel(), res.Values, res.Iterations, res.Runtime)
 	if err != nil {
@@ -228,9 +279,10 @@ func runPowerGraph(spec Spec) (*Output, error) {
 	return out, nil
 }
 
-func runSingleNode(spec Spec) (*Output, error) {
+func runSingleNode(ctx context.Context, spec Spec) (*Output, error) {
 	eng := sim.NewEngine()
 	defer eng.Shutdown()
+	defer watchContext(ctx, eng)()
 	c := cluster.New(eng, spec.Cluster)
 	cfg := spec.Single
 	if cfg == nil {
@@ -262,7 +314,7 @@ func runSingleNode(spec Spec) (*Output, error) {
 		return runErr
 	})
 	if err != nil {
-		return nil, err
+		return nil, finishErr(ctx, err)
 	}
 	return finish(spec, job, core.SingleNodeModel(), res.Values, res.Iterations, res.Runtime)
 }

@@ -1,0 +1,75 @@
+package platforms
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+// TestRunContextCanceledBeforeStart: an already-canceled context aborts
+// the run before any simulation work happens.
+func TestRunContextCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, Spec{
+		Platform: "Giraph", Algorithm: "BFS",
+		Dataset: smallDataset(t), Cluster: smallCluster(),
+	})
+	if err == nil {
+		t.Fatal("run with a canceled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+}
+
+// TestRunContextDeadlineInterruptsSimulation: a wall-clock deadline
+// expiring mid-run interrupts the virtual-time engine (via
+// sim.Engine.Interrupt between events) instead of letting the
+// simulation run to completion.
+func TestRunContextDeadlineInterruptsSimulation(t *testing.T) {
+	// A graph big enough that 50 PageRank iterations cannot finish
+	// within the deadline on any realistic machine.
+	ds, err := datagen.Generate(datagen.Config{
+		Kind: datagen.SocialNetwork, Vertices: 20000, Edges: 120000, Seed: 9, Directed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = RunContext(ctx, Spec{
+		Platform: "PowerGraph", Algorithm: "PageRank", Iterations: 50,
+		Dataset: ds, Cluster: smallCluster(),
+	})
+	if err == nil {
+		t.Fatal("run with a 5ms deadline completed a 20k-vertex PageRank")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not wrap context.DeadlineExceeded: %v", err)
+	}
+	// The interrupt must be prompt: the engine stops between events, not
+	// after the full simulation.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("interrupt took %v; the engine ignored it", elapsed)
+	}
+}
+
+// TestRunContextBackgroundUnaffected: RunContext with a background
+// context behaves exactly like Run.
+func TestRunContextBackgroundUnaffected(t *testing.T) {
+	out, err := RunContext(context.Background(), Spec{
+		Platform: "Giraph", Algorithm: "BFS",
+		Dataset: smallDataset(t), Cluster: smallCluster(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Job == nil || out.Runtime <= 0 {
+		t.Fatalf("run produced no job: %+v", out)
+	}
+}

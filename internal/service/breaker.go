@@ -1,0 +1,152 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the archive-persistence circuit breaker's state.
+type BreakerState int
+
+// Breaker states, ordered by severity so the Prometheus gauge is
+// monotone in "how degraded is the store".
+const (
+	// BreakerClosed is normal operation: every persist goes to disk.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen admits trial operations after the cooldown; one
+	// success closes the breaker, one failure re-opens it.
+	BreakerHalfOpen
+	// BreakerOpen is degraded read-only mode: persists are refused
+	// without touching storage, reads keep serving from the in-memory
+	// cache, and submits are shed with 503.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker. It trips open after
+// Threshold consecutive failures, refuses work while open, and after
+// Cooldown lets a trial through (half-open) — either a caller's real
+// operation via Allow or the store's background probe via TryProbe.
+// A trial success closes the breaker; a trial failure re-opens it and
+// restarts the cooldown. It is safe for concurrent use.
+type Breaker struct {
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	// onTransition observes every state change (metrics); called with
+	// the new state while the breaker lock is held, so it must not call
+	// back into the breaker.
+	onTransition func(BreakerState)
+}
+
+// NewBreaker returns a closed breaker. threshold < 1 selects 5;
+// cooldown <= 0 selects 5 s. onTransition may be nil.
+func NewBreaker(threshold int, cooldown time.Duration, onTransition func(BreakerState)) *Breaker {
+	if threshold < 1 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{
+		threshold:    threshold,
+		cooldown:     cooldown,
+		now:          time.Now,
+		onTransition: onTransition,
+	}
+}
+
+func (b *Breaker) transitionLocked(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	b.state = to
+	if to == BreakerOpen {
+		b.openedAt = b.now()
+	}
+	if b.onTransition != nil {
+		b.onTransition(to)
+	}
+}
+
+// State returns the current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether an operation may proceed. Closed and half-open
+// admit; open admits only once the cooldown has elapsed, in which case
+// the breaker moves to half-open and the operation is the trial.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.transitionLocked(BreakerHalfOpen)
+		return true
+	default:
+		return true
+	}
+}
+
+// TryProbe reports whether a background recovery probe should run now:
+// only when the breaker is open and the cooldown has elapsed. It moves
+// the breaker to half-open; the caller must report the probe's outcome
+// via Success or Failure.
+func (b *Breaker) TryProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen || b.now().Sub(b.openedAt) < b.cooldown {
+		return false
+	}
+	b.transitionLocked(BreakerHalfOpen)
+	return true
+}
+
+// Success records a successful operation: the failure streak resets and
+// a half-open (or open) breaker closes.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.transitionLocked(BreakerClosed)
+}
+
+// Failure records a failed operation: a half-open trial failure
+// re-opens immediately; a closed breaker opens once the consecutive
+// failure count reaches the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	switch b.state {
+	case BreakerHalfOpen:
+		b.transitionLocked(BreakerOpen)
+	case BreakerClosed:
+		if b.fails >= b.threshold {
+			b.transitionLocked(BreakerOpen)
+		}
+	case BreakerOpen:
+		b.openedAt = b.now() // restart the cooldown
+	}
+}

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeBreaker returns a breaker on a fake clock; advance moves time.
+func fakeBreaker(threshold int, cooldown time.Duration, onTransition func(BreakerState)) (b *Breaker, advance func(time.Duration)) {
+	now := time.Unix(1000, 0)
+	b = NewBreaker(threshold, cooldown, onTransition)
+	b.now = func() time.Time { return now }
+	return b, func(d time.Duration) { now = now.Add(d) }
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, advance := fakeBreaker(3, time.Second, nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("new breaker is %v", b.State())
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("breaker tripped below threshold: %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused work")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("breaker did not trip at threshold: %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted work before cooldown")
+	}
+	advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("open breaker refused the trial after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("post-cooldown Allow left breaker %v, want half-open", b.State())
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("trial success left breaker %v, want closed", b.State())
+	}
+	// The failure streak must have reset: two failures stay closed.
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("failure streak survived a success")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, advance := fakeBreaker(1, time.Second, nil)
+	b.Failure()
+	advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no trial after cooldown")
+	}
+	b.Failure() // the trial fails
+	if b.State() != BreakerOpen {
+		t.Fatalf("failed trial left breaker %v, want open", b.State())
+	}
+	// The cooldown restarted at the trial failure.
+	advance(time.Second / 2)
+	if b.Allow() {
+		t.Fatal("breaker admitted work half way into the restarted cooldown")
+	}
+	advance(time.Second / 2)
+	if !b.Allow() {
+		t.Fatal("breaker refused the next trial after the restarted cooldown")
+	}
+}
+
+func TestBreakerFailureWhileOpenRestartsCooldown(t *testing.T) {
+	b, advance := fakeBreaker(1, time.Second, nil)
+	b.Failure()
+	advance(800 * time.Millisecond)
+	b.Failure() // e.g. a shedding caller reporting late
+	advance(800 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("cooldown was not restarted by the open-state failure")
+	}
+}
+
+func TestBreakerTryProbe(t *testing.T) {
+	b, advance := fakeBreaker(1, time.Second, nil)
+	if b.TryProbe() {
+		t.Fatal("closed breaker offered a probe")
+	}
+	b.Failure()
+	if b.TryProbe() {
+		t.Fatal("probe offered before cooldown")
+	}
+	advance(time.Second)
+	if !b.TryProbe() {
+		t.Fatal("no probe after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("TryProbe left breaker %v, want half-open", b.State())
+	}
+	if b.TryProbe() {
+		t.Fatal("half-open breaker offered a second concurrent probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("probe success left breaker %v, want closed", b.State())
+	}
+}
+
+func TestBreakerTransitionsObserved(t *testing.T) {
+	var seen []BreakerState
+	b, advance := fakeBreaker(2, time.Second, func(s BreakerState) { seen = append(seen, s) })
+	b.Failure()
+	b.Failure() // -> open
+	advance(time.Second)
+	b.Allow()   // -> half-open
+	b.Failure() // -> open
+	advance(time.Second)
+	b.TryProbe() // -> half-open
+	b.Success()  // -> closed
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transition %d is %v, want %v (all: %v)", i, seen[i], want[i], seen)
+		}
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0, nil)
+	for i := 0; i < 4; i++ {
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("default threshold is below 5")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("default threshold is above 5")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	if BreakerClosed.String() != "closed" || BreakerHalfOpen.String() != "half-open" || BreakerOpen.String() != "open" {
+		t.Fatal("breaker state names changed; /metrics and /healthz consumers depend on them")
+	}
+}

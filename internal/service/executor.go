@@ -2,12 +2,18 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
+	"math/rand"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/archive"
 	"repro/internal/cluster"
 	"repro/internal/datagen"
+	"repro/internal/faults"
 	"repro/internal/platforms"
 )
 
@@ -22,6 +28,13 @@ const (
 	StatusFailed   JobStatus = "failed"
 	StatusCanceled JobStatus = "canceled"
 )
+
+// SiteRun is the fault-injection point on the executor's run path,
+// hit once per job before the simulation starts.
+const SiteRun = "executor.run"
+
+// maxTimeoutSeconds bounds JobRequest.TimeoutSeconds (about 11 days).
+const maxTimeoutSeconds = 1e6
 
 // JobRequest describes one simulation to run. Zero fields select the
 // documented defaults, which are filled in at submission time so the
@@ -43,6 +56,11 @@ type JobRequest struct {
 	Iterations int `json:"iterations,omitempty"`
 	// Nodes sizes the simulated cluster; default the 8-node DAS5 model.
 	Nodes int `json:"nodes,omitempty"`
+	// TimeoutSeconds bounds the job's wall-clock run time; past it the
+	// simulation is interrupted and the job fails with a timeout
+	// reason. 0 selects the executor's default (no limit unless the
+	// executor was configured with one).
+	TimeoutSeconds float64 `json:"timeoutSeconds,omitempty"`
 	// ID names the job; default "job-<seq>".
 	ID string `json:"id,omitempty"`
 }
@@ -75,6 +93,14 @@ func (r *JobRequest) validate() error {
 	if r.Vertices < 0 || r.Edges < 0 || r.Nodes < 0 || r.Iterations < 0 {
 		return fmt.Errorf("service: job request sizes must be non-negative")
 	}
+	if math.IsNaN(r.TimeoutSeconds) || math.IsInf(r.TimeoutSeconds, 0) || r.TimeoutSeconds < 0 {
+		return fmt.Errorf("service: job timeout must be a non-negative finite number of seconds")
+	}
+	if r.TimeoutSeconds > maxTimeoutSeconds {
+		// Larger values would overflow time.Duration when the deadline is
+		// armed; nothing legitimate runs for days anyway.
+		return fmt.Errorf("service: job timeout must be at most %g seconds", float64(maxTimeoutSeconds))
+	}
 	switch r.GraphKind {
 	case "", "social", "rmat", "uniform":
 	default:
@@ -89,27 +115,84 @@ type JobState struct {
 	Request JobRequest `json:"request"`
 	Status  JobStatus  `json:"status"`
 	Error   string     `json:"error,omitempty"`
+	// Stack holds the goroutine stack of a recovered panic when the job
+	// failed by panicking, so a crashing simulation is debuggable from
+	// the job state instead of taking the process down.
+	Stack string `json:"stack,omitempty"`
 	// Summary is present once the job is done.
 	Summary *Summary `json:"summary,omitempty"`
 }
 
+// RetryPolicy bounds the executor's retries around archive persistence:
+// Attempts total tries, with exponential backoff from Base capped at
+// Max, plus jitter. The zero value selects 3 attempts, 25 ms base,
+// 1 s cap.
+type RetryPolicy struct {
+	Attempts int
+	Base     time.Duration
+	Max      time.Duration
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.Attempts < 1 {
+		p.Attempts = 3
+	}
+	if p.Base <= 0 {
+		p.Base = 25 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = time.Second
+	}
+	return p
+}
+
+// ExecutorOptions tunes the executor's robustness behavior; the zero
+// value selects the defaults.
+type ExecutorOptions struct {
+	// Faults is the chaos injector threaded through the run path; nil
+	// injects nothing.
+	Faults *faults.Injector
+	// Retry bounds persistence retries.
+	Retry RetryPolicy
+	// DefaultTimeout applies to jobs that do not set TimeoutSeconds;
+	// 0 leaves them unbounded.
+	DefaultTimeout time.Duration
+	// JitterSeed seeds backoff jitter (0 selects 1), so tests get a
+	// reproducible retry schedule.
+	JitterSeed int64
+}
+
 // Executor is the bounded job pool: a fixed number of workers drain a
 // bounded queue of submitted requests, run them through the platforms
-// harness, and publish results to the archive store.
+// harness, and publish results to the archive store. Workers are
+// hardened: a panicking job fails with its stack recorded instead of
+// crashing the process, a job past its deadline has its simulation
+// interrupted and its worker freed, and persistence is retried with
+// backoff before the job fails.
 type Executor struct {
 	store   *Store
 	metrics *Metrics
+	faults  *faults.Injector
+	retry   RetryPolicy
+	defTO   time.Duration
 
-	queue  chan string
-	wg     sync.WaitGroup
+	// ctx is canceled when a shutdown deadline expires, aborting every
+	// in-flight simulation through its per-job context.
 	ctx    context.Context
 	cancel context.CancelFunc
+	wg     sync.WaitGroup
 
-	mu     sync.Mutex
-	states map[string]*JobState
-	order  []string
-	seq    int
-	closed bool
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled when pending grows or intake closes
+	pending  []string   // queued job IDs, FIFO; bounded by queueCap
+	queueCap int
+	states   map[string]*JobState
+	order    []string
+	seq      int
+	closed   bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // backoff jitter
 
 	dsMu     sync.Mutex
 	datasets map[datasetKey]*datagen.Dataset
@@ -123,24 +206,38 @@ type datasetKey struct {
 }
 
 // NewExecutor starts a pool of workers over a queue of the given
-// capacity. Metrics may be nil.
+// capacity with default robustness options. Metrics may be nil.
 func NewExecutor(workers, queueCap int, store *Store, m *Metrics) *Executor {
+	return NewExecutorWith(workers, queueCap, store, m, ExecutorOptions{})
+}
+
+// NewExecutorWith is NewExecutor with explicit robustness options.
+func NewExecutorWith(workers, queueCap int, store *Store, m *Metrics, opts ExecutorOptions) *Executor {
 	if workers < 1 {
 		workers = 1
 	}
 	if queueCap < 1 {
 		queueCap = 1
 	}
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Executor{
 		store:    store,
 		metrics:  m,
-		queue:    make(chan string, queueCap),
+		faults:   opts.Faults,
+		retry:    opts.Retry.normalized(),
+		defTO:    opts.DefaultTimeout,
 		ctx:      ctx,
 		cancel:   cancel,
+		queueCap: queueCap,
 		states:   map[string]*JobState{},
+		rng:      rand.New(rand.NewSource(seed)),
 		datasets: map[datasetKey]*datagen.Dataset{},
 	}
+	e.cond = sync.NewCond(&e.mu)
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go e.worker()
@@ -153,17 +250,26 @@ func NewExecutor(workers, queueCap int, store *Store, m *Metrics) *Executor {
 var ErrQueueFull = fmt.Errorf("service: job queue is full")
 
 // Submit validates and enqueues a request, returning the assigned job
-// ID. It never blocks: a full queue is an error the caller can surface.
+// ID. It never blocks: a full queue sheds the submission with
+// ErrQueueFull so the caller stays responsive under overload.
 func (e *Executor) Submit(req JobRequest) (string, error) {
 	if err := req.validate(); err != nil {
 		return "", err
 	}
 	req.applyDefaults()
+	if req.TimeoutSeconds == 0 && e.defTO > 0 {
+		req.TimeoutSeconds = e.defTO.Seconds()
+	}
 
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return "", fmt.Errorf("service: executor is shut down")
+	}
+	if len(e.pending) >= e.queueCap {
+		e.mu.Unlock()
+		e.metrics.CountShed()
+		return "", ErrQueueFull
 	}
 	e.seq++
 	if req.ID == "" {
@@ -176,18 +282,10 @@ func (e *Executor) Submit(req JobRequest) (string, error) {
 	st := &JobState{ID: req.ID, Request: req, Status: StatusQueued}
 	e.states[req.ID] = st
 	e.order = append(e.order, req.ID)
+	e.pending = append(e.pending, req.ID)
+	e.cond.Signal()
 	e.mu.Unlock()
-
-	select {
-	case e.queue <- req.ID:
-		return req.ID, nil
-	default:
-		e.mu.Lock()
-		delete(e.states, req.ID)
-		e.order = e.order[:len(e.order)-1]
-		e.mu.Unlock()
-		return "", ErrQueueFull
-	}
+	return req.ID, nil
 }
 
 // State returns a copy of one job's state.
@@ -213,11 +311,16 @@ func (e *Executor) States() []JobState {
 }
 
 // QueueDepth reports the number of jobs waiting for a worker.
-func (e *Executor) QueueDepth() int { return len(e.queue) }
+func (e *Executor) QueueDepth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
+}
 
-// Cancel marks a queued job canceled so workers skip it. Running jobs
-// cannot be interrupted (the simulation kernel is not preemptible);
-// Cancel reports whether the job was still cancelable.
+// Cancel marks a queued job canceled and removes it from the queue, so
+// its slot is free for new submissions immediately (not only once a
+// worker reaches and skips it). Running jobs cannot be canceled through
+// this path; Cancel reports whether the job was still cancelable.
 func (e *Executor) Cancel(id string) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -226,13 +329,21 @@ func (e *Executor) Cancel(id string) bool {
 		return false
 	}
 	st.Status = StatusCanceled
+	for i, qid := range e.pending {
+		if qid == id {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			break
+		}
+	}
 	return true
 }
 
 // Shutdown stops intake and drains the queue: queued and in-flight jobs
 // keep running until done or until ctx expires, at which point the
-// remaining queued jobs are marked canceled and Shutdown returns
-// ctx.Err() after in-flight jobs finish.
+// remaining queued jobs are marked canceled, in-flight simulations are
+// interrupted through their job contexts, and Shutdown returns
+// ctx.Err() once the workers have exited. No job is ever left in the
+// queued or running state after Shutdown returns.
 func (e *Executor) Shutdown(ctx context.Context) error {
 	e.mu.Lock()
 	if e.closed {
@@ -240,8 +351,8 @@ func (e *Executor) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	e.closed = true
+	e.cond.Broadcast()
 	e.mu.Unlock()
-	close(e.queue)
 
 	done := make(chan struct{})
 	go func() {
@@ -252,36 +363,153 @@ func (e *Executor) Shutdown(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		e.cancel() // workers skip the rest of the queue
+		e.mu.Lock()
+		for _, id := range e.pending {
+			if st := e.states[id]; st.Status == StatusQueued {
+				st.Status = StatusCanceled
+				st.Error = "canceled: shutdown drain expired"
+			}
+		}
+		e.pending = nil
+		e.cond.Broadcast()
+		e.mu.Unlock()
+		e.cancel() // abort in-flight simulations
 		<-done
 		return ctx.Err()
 	}
 }
 
+// next blocks until a job is available or intake is closed and drained.
+func (e *Executor) next() (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.pending) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.pending) == 0 {
+		return "", false
+	}
+	id := e.pending[0]
+	e.pending = e.pending[1:]
+	return id, true
+}
+
 func (e *Executor) worker() {
 	defer e.wg.Done()
-	for id := range e.queue {
-		if e.ctx.Err() != nil {
-			e.setCanceled(id)
-			continue
+	for {
+		id, ok := e.next()
+		if !ok {
+			return
 		}
 		if !e.setRunning(id) {
-			continue // canceled while queued
+			continue // canceled between dequeue and start
 		}
-		sum, job, err := e.run(id)
-		if err != nil {
-			e.setFailed(id, err)
-			continue
-		}
-		// A job is only "done" once its archive is durable: if the
-		// write-through store cannot persist it, the job fails rather
-		// than acking a result a restart would lose.
-		if err := e.store.Put(job, sum); err != nil {
-			e.setFailed(id, fmt.Errorf("persist archive: %w", err))
-			continue
-		}
-		e.setDone(id, sum)
+		e.process(id)
 	}
+}
+
+// process runs one job end to end: simulation (with panic isolation and
+// a deadline) then persistence (with retry). Terminal status mapping:
+// deadline overrun or real failure → failed; shutdown abort → canceled.
+func (e *Executor) process(id string) {
+	e.mu.Lock()
+	req := e.states[id].Request
+	e.mu.Unlock()
+
+	ctx := e.ctx
+	var cancel context.CancelFunc
+	if req.TimeoutSeconds > 0 {
+		ctx, cancel = context.WithTimeout(e.ctx, time.Duration(req.TimeoutSeconds*float64(time.Second)))
+	} else {
+		ctx, cancel = context.WithCancel(e.ctx)
+	}
+	defer cancel()
+
+	sum, job, stack, err := e.runIsolated(ctx, id, req)
+	if err != nil {
+		e.finishErr(id, req, stack, err)
+		return
+	}
+	if err := e.persist(ctx, job, sum); err != nil {
+		// A job is only "done" once its archive is durable: if the
+		// write-through store cannot persist it even with retries, the
+		// job fails rather than acking a result a restart would lose.
+		e.finishErr(id, req, "", fmt.Errorf("persist archive: %w", err))
+		return
+	}
+	e.setDone(id, sum)
+}
+
+// runIsolated runs the simulation with panic isolation: a panicking job
+// (or injected panic) becomes an error with the recovered stack instead
+// of crashing the process.
+func (e *Executor) runIsolated(ctx context.Context, id string, req JobRequest) (sum Summary, job *archive.Job, stack string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack = string(debug.Stack())
+			err = fmt.Errorf("service: job panicked: %v", r)
+			e.metrics.CountPanicRecovered()
+		}
+	}()
+	if ferr := e.faults.FailCtx(ctx, SiteRun); ferr != nil {
+		return Summary{}, nil, "", ferr
+	}
+	sum, job, err = e.run(ctx, id, req)
+	return sum, job, "", err
+}
+
+// finishErr records a terminal non-done state: shutdown aborts land as
+// canceled, deadline overruns as failed with an explicit timeout
+// reason, everything else as failed with the error.
+func (e *Executor) finishErr(id string, req JobRequest, stack string, err error) {
+	if e.ctx.Err() != nil {
+		e.setAborted(id, fmt.Errorf("canceled: shutdown aborted the job: %v", err))
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("timeout: job exceeded its %gs deadline: %w", req.TimeoutSeconds, err)
+	}
+	e.setFailed(id, err, stack)
+}
+
+// backoff returns the sleep before retry attempt (1-based): exponential
+// from the policy base, capped, plus uniform jitter of up to one base.
+func (e *Executor) backoff(attempt int) time.Duration {
+	d := e.retry.Base << (attempt - 1)
+	if d > e.retry.Max || d <= 0 {
+		d = e.retry.Max
+	}
+	e.rngMu.Lock()
+	j := time.Duration(e.rng.Int63n(int64(e.retry.Base) + 1))
+	e.rngMu.Unlock()
+	return d + j
+}
+
+// persist stores the finished job, retrying transient failures with
+// exponential backoff and jitter. It gives up early when the store
+// reports degraded mode (the breaker is open; retrying cannot help) or
+// when the job's context expires mid-backoff.
+func (e *Executor) persist(ctx context.Context, job *archive.Job, sum Summary) error {
+	var last error
+	for attempt := 1; attempt <= e.retry.Attempts; attempt++ {
+		if attempt > 1 {
+			e.metrics.CountRetry()
+			select {
+			case <-time.After(e.backoff(attempt - 1)):
+			case <-ctx.Done():
+				return fmt.Errorf("retry abandoned (%v): %w", ctx.Err(), last)
+			}
+		}
+		err := e.store.Put(job, sum)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if errors.Is(err, ErrDegraded) {
+			return err
+		}
+	}
+	return fmt.Errorf("after %d attempts: %w", e.retry.Attempts, last)
 }
 
 func (e *Executor) setRunning(id string) bool {
@@ -292,29 +520,28 @@ func (e *Executor) setRunning(id string) bool {
 		return false
 	}
 	st.Status = StatusRunning
-	if e.metrics != nil {
-		e.metrics.JobStarted()
-	}
+	e.metrics.JobStarted()
 	return true
 }
 
-func (e *Executor) setCanceled(id string) {
+// setAborted marks a running job canceled (shutdown abort).
+func (e *Executor) setAborted(id string, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if st := e.states[id]; st.Status == StatusQueued {
-		st.Status = StatusCanceled
-	}
+	st := e.states[id]
+	st.Status = StatusCanceled
+	st.Error = err.Error()
+	e.metrics.JobFinished(false)
 }
 
-func (e *Executor) setFailed(id string, err error) {
+func (e *Executor) setFailed(id string, err error, stack string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := e.states[id]
 	st.Status = StatusFailed
 	st.Error = err.Error()
-	if e.metrics != nil {
-		e.metrics.JobFinished(false)
-	}
+	st.Stack = stack
+	e.metrics.JobFinished(false)
 }
 
 func (e *Executor) setDone(id string, sum Summary) {
@@ -324,9 +551,7 @@ func (e *Executor) setDone(id string, sum Summary) {
 	st.Status = StatusDone
 	s := sum
 	st.Summary = &s
-	if e.metrics != nil {
-		e.metrics.JobFinished(true)
-	}
+	e.metrics.JobFinished(true)
 }
 
 // dataset returns the generated dataset for a request, cached by
@@ -359,11 +584,7 @@ func (e *Executor) dataset(req JobRequest) (*datagen.Dataset, error) {
 	return ds, nil
 }
 
-func (e *Executor) run(id string) (Summary, *archive.Job, error) {
-	e.mu.Lock()
-	req := e.states[id].Request
-	e.mu.Unlock()
-
+func (e *Executor) run(ctx context.Context, id string, req JobRequest) (Summary, *archive.Job, error) {
 	ds, err := e.dataset(req)
 	if err != nil {
 		return Summary{}, nil, err
@@ -381,7 +602,7 @@ func (e *Executor) run(id string) (Summary, *archive.Job, error) {
 		cfg.Nodes = req.Nodes
 		spec.Cluster = cfg
 	}
-	out, err := platforms.Run(spec)
+	out, err := platforms.RunContext(ctx, spec)
 	if err != nil {
 		return Summary{}, nil, err
 	}

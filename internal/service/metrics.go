@@ -66,16 +66,94 @@ type Metrics struct {
 	jobsStart  uint64
 	jobsDone   uint64
 	jobsFailed uint64
+
+	// Robustness counters. Every method on Metrics is nil-receiver
+	// safe, so instrumented code paths do not guard their hooks.
+	retries     uint64
+	panics      uint64
+	shed        uint64
+	transitions map[BreakerState]uint64
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{requests: map[string]*histogram{}}
+	return &Metrics{
+		requests:    map[string]*histogram{},
+		transitions: map[BreakerState]uint64{},
+	}
+}
+
+// CountRetry counts one archive-persistence retry.
+func (m *Metrics) CountRetry() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.retries++
+	m.mu.Unlock()
+}
+
+// CountPanicRecovered counts one panic caught by a worker or handler.
+func (m *Metrics) CountPanicRecovered() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// CountShed counts one request shed by admission control (429) or
+// degraded read-only mode (503).
+func (m *Metrics) CountShed() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+// BreakerTransition counts one circuit-breaker transition into state.
+func (m *Metrics) BreakerTransition(state BreakerState) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.transitions[state]++
+	m.mu.Unlock()
+}
+
+// Robustness returns the (retries, panics recovered, shed) counters.
+func (m *Metrics) Robustness() (retries, panics, shed uint64) {
+	if m == nil {
+		return 0, 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.retries, m.panics, m.shed
+}
+
+// BreakerTransitions returns the per-state transition counts.
+func (m *Metrics) BreakerTransitions() map[BreakerState]uint64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[BreakerState]uint64, len(m.transitions))
+	for k, v := range m.transitions {
+		out[k] = v
+	}
+	return out
 }
 
 // ObserveRequest records one served request's latency under its route
 // pattern (e.g. "GET /jobs/{id}").
 func (m *Metrics) ObserveRequest(route string, seconds float64) {
+	if m == nil {
+		return
+	}
 	m.mu.Lock()
 	h, ok := m.requests[route]
 	if !ok {
@@ -88,6 +166,9 @@ func (m *Metrics) ObserveRequest(route string, seconds float64) {
 
 // JobStarted counts a job leaving the queue for a worker.
 func (m *Metrics) JobStarted() {
+	if m == nil {
+		return
+	}
 	m.mu.Lock()
 	m.jobsStart++
 	m.mu.Unlock()
@@ -95,6 +176,9 @@ func (m *Metrics) JobStarted() {
 
 // JobFinished counts a completed job.
 func (m *Metrics) JobFinished(ok bool) {
+	if m == nil {
+		return
+	}
 	m.mu.Lock()
 	if ok {
 		m.jobsDone++
@@ -125,11 +209,11 @@ func formatFloat(v float64) string {
 }
 
 // WritePrometheus renders the registry in Prometheus text exposition
-// format. queueDepth and storeJobs are gauges sampled by the caller at
-// scrape time; storage is the archivedb engine's counters, nil when
-// the store runs without durability (the storage family is then
-// omitted entirely).
-func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, storeJobs int, storage *archivedb.Stats) {
+// format. queueDepth, storeJobs, and breaker are gauges sampled by the
+// caller at scrape time; storage is the archivedb engine's counters,
+// nil when the store runs without durability (the storage family is
+// then omitted entirely).
+func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, storeJobs int, storage *archivedb.Stats, breaker BreakerState) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -164,6 +248,28 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, storeJobs int, storag
 	fmt.Fprintln(w, "# HELP granula_store_jobs Archived jobs held in the store.")
 	fmt.Fprintln(w, "# TYPE granula_store_jobs gauge")
 	fmt.Fprintf(w, "granula_store_jobs %d\n", storeJobs)
+
+	fmt.Fprintln(w, "# HELP granula_breaker_state Archive-persistence circuit breaker (0=closed, 1=half-open, 2=open).")
+	fmt.Fprintln(w, "# TYPE granula_breaker_state gauge")
+	fmt.Fprintf(w, "granula_breaker_state %d\n", int(breaker))
+
+	fmt.Fprintln(w, "# HELP granula_breaker_transitions_total Circuit-breaker transitions by target state.")
+	fmt.Fprintln(w, "# TYPE granula_breaker_transitions_total counter")
+	for _, st := range []BreakerState{BreakerClosed, BreakerHalfOpen, BreakerOpen} {
+		fmt.Fprintf(w, "granula_breaker_transitions_total{state=%q} %d\n", st.String(), m.transitions[st])
+	}
+
+	fmt.Fprintln(w, "# HELP granula_retries_total Archive-persistence retries.")
+	fmt.Fprintln(w, "# TYPE granula_retries_total counter")
+	fmt.Fprintf(w, "granula_retries_total %d\n", m.retries)
+
+	fmt.Fprintln(w, "# HELP granula_panics_recovered_total Panics caught by worker and handler isolation.")
+	fmt.Fprintln(w, "# TYPE granula_panics_recovered_total counter")
+	fmt.Fprintf(w, "granula_panics_recovered_total %d\n", m.panics)
+
+	fmt.Fprintln(w, "# HELP granula_shed_total Requests shed by admission control (429) or degraded mode (503).")
+	fmt.Fprintln(w, "# TYPE granula_shed_total counter")
+	fmt.Fprintf(w, "granula_shed_total %d\n", m.shed)
 
 	if storage == nil {
 		return

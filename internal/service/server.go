@@ -2,14 +2,28 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/faults"
 	"repro/internal/query"
 	"repro/internal/regression"
 	"repro/internal/viz"
+)
+
+// maxSubmitBytes caps the POST /jobs and POST /diff request bodies; an
+// oversized body is rejected with 413 before it is buffered.
+const maxSubmitBytes = 1 << 20
+
+// Fault-injection points on the HTTP layer.
+const (
+	// SiteSubmit is hit at the top of POST /jobs.
+	SiteSubmit = "http.submit"
+	// SiteQuery is hit at the top of GET /jobs/{id}/query.
+	SiteQuery = "http.query"
 )
 
 // Server is the HTTP face of the service: it routes the JSON API over
@@ -18,16 +32,29 @@ type Server struct {
 	exec    *Executor
 	store   *Store
 	metrics *Metrics
+	faults  *faults.Injector
 	handler http.Handler
+}
+
+// ServerOptions tunes the server's robustness behavior.
+type ServerOptions struct {
+	// Faults is the chaos injector threaded through the handlers; nil
+	// injects nothing.
+	Faults *faults.Injector
 }
 
 // NewServer wires the API routes. Metrics may be nil, in which case a
 // fresh registry is created.
 func NewServer(exec *Executor, store *Store, m *Metrics) *Server {
+	return NewServerWith(exec, store, m, ServerOptions{})
+}
+
+// NewServerWith is NewServer with explicit robustness options.
+func NewServerWith(exec *Executor, store *Store, m *Metrics, opts ServerOptions) *Server {
 	if m == nil {
 		m = NewMetrics()
 	}
-	s := &Server{exec: exec, store: store, metrics: m}
+	s := &Server{exec: exec, store: store, metrics: m, faults: opts.Faults}
 	mux := http.NewServeMux()
 	route := func(pattern string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.instrument(pattern, h))
@@ -52,12 +79,23 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Metrics returns the server's metrics registry.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// instrument records request latency under the route pattern.
+// instrument records request latency under the route pattern and
+// isolates handler panics: a panicking handler (from a bug or an
+// injected fault) answers 500 instead of tearing down the connection,
+// and the panic is counted so chaos runs can assert isolation worked.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.CountPanicRecovered()
+				// Best effort: if the handler already wrote headers this
+				// write is a no-op on the status line, which is fine.
+				writeError(w, http.StatusInternalServerError, "internal panic: %v", rec)
+			}
+			s.metrics.ObserveRequest(pattern, time.Since(start).Seconds())
+		}()
 		h(w, r)
-		s.metrics.ObserveRequest(pattern, time.Since(start).Seconds())
 	})
 }
 
@@ -87,16 +125,45 @@ type submitResponse struct {
 	Status JobStatus `json:"status"`
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req JobRequest
+// decodeBody decodes a JSON request body capped at maxSubmitBytes,
+// distinguishing an oversized body (413) from malformed JSON (400).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad job request: %v", err)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if err := s.faults.Fail(SiteSubmit); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if s.store.ReadOnly() {
+		// Degraded read-only mode: reads keep serving, submits are shed
+		// until the breaker's probe confirms storage recovered.
+		s.metrics.CountShed()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", ErrDegraded)
+		return
+	}
+	var req JobRequest
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	id, err := s.exec.Submit(req)
 	if err == ErrQueueFull {
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	}
@@ -205,6 +272,10 @@ type queryResponse struct {
 // required: ?q= runs the internal/query language over the tree;
 // ?mission=, ?actor=, and ?path= hit the store's secondary indexes.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if err := s.faults.Fail(SiteQuery); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	id := r.PathValue("id")
 	sj, ok := s.storedJob(w, id)
 	if !ok {
@@ -305,10 +376,7 @@ type DiffResponse struct {
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	var req DiffRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad diff request: %v", err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	baseline, ok := s.storedJob(w, req.BaselineID)
@@ -342,17 +410,26 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// healthResponse reports liveness plus coarse load.
+// healthResponse reports liveness plus coarse load and the persistence
+// breaker state, so orchestrators can distinguish healthy from
+// degraded-but-serving.
 type healthResponse struct {
 	Status     string `json:"status"`
+	Breaker    string `json:"breaker"`
 	Jobs       int    `json:"jobs"`
 	QueueDepth int    `json:"queueDepth"`
 	StoreJobs  int    `json:"storeJobs"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	breaker := s.store.BreakerState()
+	status := "ok"
+	if breaker != BreakerClosed {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, healthResponse{
-		Status:     "ok",
+		Status:     status,
+		Breaker:    breaker.String(),
 		Jobs:       len(s.exec.States()),
 		QueueDepth: s.exec.QueueDepth(),
 		StoreJobs:  s.store.Len(),
@@ -361,5 +438,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w, s.exec.QueueDepth(), s.store.Len(), s.store.StorageStats())
+	s.metrics.WritePrometheus(w, s.exec.QueueDepth(), s.store.Len(), s.store.StorageStats(), s.store.BreakerState())
 }

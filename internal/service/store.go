@@ -13,10 +13,12 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/archive"
 	"repro/internal/archivedb"
@@ -142,16 +144,47 @@ type persistedJob struct {
 	Job     *archive.Job `json:"job"`
 }
 
+// ErrDegraded is returned by Put while the persistence circuit breaker
+// is open: the store is in degraded read-only mode — reads and queries
+// keep serving from the in-memory cache, but nothing new is accepted
+// until a probe confirms storage has recovered. HTTP maps it to 503.
+var ErrDegraded = errors.New("service: archive storage degraded (circuit breaker open), store is read-only")
+
+// StoreOptions tunes the durability circuit breaker of a store with a
+// backing database; the zero value selects the defaults. Stores without
+// a database have no breaker (there is no storage to fail).
+type StoreOptions struct {
+	// BreakerThreshold is the consecutive persist failures that trip
+	// the store into degraded read-only mode; < 1 selects 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before a
+	// trial is allowed; <= 0 selects 5 s.
+	BreakerCooldown time.Duration
+	// ProbeInterval is the background recovery-probe period; <= 0
+	// selects 500 ms.
+	ProbeInterval time.Duration
+	// Metrics observes breaker transitions; may be nil.
+	Metrics *Metrics
+}
+
 // Store is the performance-archive store: completed jobs keyed by job
 // ID, each with its secondary indexes. Without a database it is purely
 // in-memory (a restart loses everything); with one it is a
 // write-through cache — Put persists to the WAL before publishing to
 // readers, and opening a store over an existing database restores
-// every archived job. It is safe for concurrent readers and writers.
+// every archived job. A circuit breaker guards persistence: after
+// repeated failures the store trips to degraded read-only mode and a
+// background probe re-closes the breaker once storage recovers. It is
+// safe for concurrent readers and writers.
 type Store struct {
 	mu   sync.RWMutex
 	jobs map[string]*StoredJob
 	db   *archivedb.DB
+
+	breaker   *Breaker
+	probeStop chan struct{}
+	probeDone chan struct{}
+	closeOnce sync.Once
 }
 
 // NewStore returns an empty in-memory store with no durability.
@@ -159,14 +192,30 @@ func NewStore() *Store {
 	return &Store{jobs: map[string]*StoredJob{}}
 }
 
-// NewStoreWithDB returns a store backed by db, warmed with every job
-// already persisted in it. A nil db degrades to NewStore.
+// NewStoreWithDB returns a store backed by db with default breaker
+// options, warmed with every job already persisted in it. A nil db
+// degrades to NewStore.
 func NewStoreWithDB(db *archivedb.DB) (*Store, error) {
+	return NewStoreWithOptions(db, StoreOptions{})
+}
+
+// NewStoreWithOptions is NewStoreWithDB with explicit breaker tuning.
+func NewStoreWithOptions(db *archivedb.DB, opts StoreOptions) (*Store, error) {
 	s := NewStore()
 	s.db = db
 	if db == nil {
 		return s, nil
 	}
+	s.breaker = NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown, func(to BreakerState) {
+		opts.Metrics.BreakerTransition(to)
+	})
+	interval := opts.ProbeInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	s.probeStop = make(chan struct{})
+	s.probeDone = make(chan struct{})
+	go s.probeLoop(interval)
 	for _, id := range db.IDs() {
 		payload, ok, err := db.Get(id)
 		if err != nil {
@@ -188,6 +237,58 @@ func NewStoreWithDB(db *archivedb.DB) (*Store, error) {
 	return s, nil
 }
 
+// probeLoop is the breaker's recovery path: while the store is
+// degraded, it periodically appends a real probe record to the engine —
+// the same write path a Put takes — half-opening the breaker and
+// closing it on the first success. Without traffic the store would
+// otherwise stay read-only forever (submits are shed while degraded, so
+// no Put would ever arrive to act as the trial).
+func (s *Store) probeLoop(interval time.Duration) {
+	defer close(s.probeDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.probeStop:
+			return
+		case <-t.C:
+			if !s.breaker.TryProbe() {
+				continue
+			}
+			if err := s.db.Probe(); err != nil {
+				s.breaker.Failure()
+			} else {
+				s.breaker.Success()
+			}
+		}
+	}
+}
+
+// Close stops the background recovery probe. It does not close the
+// backing database (the store does not own it). Safe to call multiple
+// times; a store without a database has nothing to stop.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() {
+		if s.probeStop != nil {
+			close(s.probeStop)
+			<-s.probeDone
+		}
+	})
+}
+
+// BreakerState returns the persistence breaker's state; stores without
+// a database report closed.
+func (s *Store) BreakerState() BreakerState {
+	if s.breaker == nil {
+		return BreakerClosed
+	}
+	return s.breaker.State()
+}
+
+// ReadOnly reports whether the store is in degraded read-only mode
+// (breaker open): reads serve from cache, submits should be shed.
+func (s *Store) ReadOnly() bool { return s.BreakerState() == BreakerOpen }
+
 // DB returns the backing database, or nil for an in-memory store.
 func (s *Store) DB() *archivedb.DB { return s.db }
 
@@ -208,7 +309,9 @@ func (s *Store) StorageStats() *archivedb.Stats {
 //
 // With a backing database the job is persisted before it becomes
 // visible to readers; an error means the job is neither durable nor
-// published.
+// published. While the breaker is open Put fails fast with ErrDegraded
+// without touching storage; every real persistence outcome feeds the
+// breaker.
 func (s *Store) Put(job *archive.Job, sum Summary) error {
 	archive.New().Add(job)
 	sj := indexJob(job, sum)
@@ -217,9 +320,14 @@ func (s *Store) Put(job *archive.Job, sum Summary) error {
 		if err != nil {
 			return fmt.Errorf("service: encode job %q: %w", sum.ID, err)
 		}
+		if !s.breaker.Allow() {
+			return ErrDegraded
+		}
 		if err := s.db.Put(sum.ID, payload, sj.indexMeta()); err != nil {
+			s.breaker.Failure()
 			return err
 		}
+		s.breaker.Success()
 	}
 	s.mu.Lock()
 	s.jobs[sum.ID] = sj

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Time is a point in simulated time, in seconds since the start of the
@@ -31,6 +32,12 @@ type Time = float64
 // engine shuts down. Process bodies must not recover it; the kernel's
 // process wrapper does.
 var errStopped = errors.New("sim: engine stopped")
+
+// ErrInterrupted is returned by Run when Interrupt was called while the
+// simulation was executing: the event loop stopped between events and
+// the simulation is incomplete. The caller is expected to Shutdown the
+// engine to release process goroutines.
+var ErrInterrupted = errors.New("sim: interrupted")
 
 // event is a scheduled callback in the engine's queue.
 type event struct {
@@ -85,6 +92,11 @@ type Engine struct {
 	seq     uint64
 	running bool
 	stopped bool
+
+	// interrupted is the one cross-thread signal the kernel accepts: it
+	// may be set from any goroutine while Run executes on another, so it
+	// is atomic where every other field is single-threaded.
+	interrupted atomic.Bool
 
 	// yield is signalled by the running process when it blocks or ends,
 	// returning control to the engine loop.
@@ -282,6 +294,9 @@ func (e *Engine) run(until Time) error {
 	e.running = true
 	defer func() { e.running = false }()
 	for len(e.queue) > 0 {
+		if e.interrupted.Load() {
+			return ErrInterrupted
+		}
 		next := e.queue[0]
 		if until >= 0 && next.at > until {
 			e.now = until
@@ -319,6 +334,17 @@ func (e *Engine) Idle() bool {
 // LiveProcs returns the number of processes that have been spawned and not
 // yet ended, including processes blocked on primitives.
 func (e *Engine) LiveProcs() int { return e.liveProc }
+
+// Interrupt asks a running simulation to stop between events; Run then
+// returns ErrInterrupted. Unlike every other Engine method, Interrupt is
+// safe to call from any goroutine — it is how a wall-clock deadline or a
+// job cancellation reaches into a simulation that only knows virtual
+// time. Interrupting an idle or finished engine is a no-op for any Run
+// call that has already returned.
+func (e *Engine) Interrupt() { e.interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt has been called.
+func (e *Engine) Interrupted() bool { return e.interrupted.Load() }
 
 // Shutdown terminates every live process by unwinding its goroutine, and
 // marks the engine stopped. It is safe to call after Run returns; it is the
