@@ -13,8 +13,12 @@ package repro
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/archive"
 	"repro/internal/core"
@@ -42,12 +46,17 @@ func benchDataset(b *testing.B) *datagen.Dataset {
 }
 
 func benchRun(b *testing.B, platform string, ds *datagen.Dataset) *platforms.Output {
+	return benchRunParallel(b, platform, ds, 0)
+}
+
+func benchRunParallel(b *testing.B, platform string, ds *datagen.Dataset, par int) *platforms.Output {
 	b.Helper()
 	out, err := platforms.Run(platforms.Spec{
-		Platform:  platform,
-		Algorithm: "BFS",
-		Source:    datagen.PeripheralSource(ds.Graph),
-		Dataset:   ds,
+		Platform:        platform,
+		Algorithm:       "BFS",
+		Source:          datagen.PeripheralSource(ds.Graph),
+		Dataset:         ds,
+		HostParallelism: par,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -56,6 +65,17 @@ func benchRun(b *testing.B, platform string, ds *datagen.Dataset) *platforms.Out
 		b.Fatalf("model errors: %v", out.ModelErrors)
 	}
 	return out
+}
+
+// benchPoolSizes returns the host pool sizes the parallel benchmarks
+// sweep: 1/2/4/8 (the EXPERIMENTS.md table), plus the actual core count
+// when distinct.
+func benchPoolSizes() []int {
+	sizes := []int{1, 2, 4, 8}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 && n != 8 {
+		sizes = append(sizes, n)
+	}
+	return sizes
 }
 
 // BenchmarkTable1PlatformRegistry regenerates Table 1 (platform
@@ -178,6 +198,119 @@ func BenchmarkFigure8SuperstepGantt(b *testing.B) {
 			b.Fatal("too few supersteps for the figure")
 		}
 	}
+}
+
+// --- Host-parallelism benchmarks (deterministic fork/join) ---
+//
+// These sweep Config.HostParallelism over the figure workloads. The
+// simulated results are byte-identical at every pool size — equivalence
+// is enforced by internal/platforms TestArchiveBytesIdenticalAcrossPoolSizes
+// — so the only thing that changes here is wall-clock time.
+
+// BenchmarkFigure5ParallelGiraph measures the Figure 5 Giraph BFS run at
+// each host pool size.
+func BenchmarkFigure5ParallelGiraph(b *testing.B) {
+	ds := benchDataset(b)
+	for _, par := range benchPoolSizes() {
+		b.Run(fmt.Sprintf("parallelism-%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchRunParallel(b, "Giraph", ds, par)
+			}
+		})
+	}
+}
+
+// BenchmarkFigure5ParallelPowerGraph measures the Figure 5 PowerGraph
+// BFS run at each host pool size.
+func BenchmarkFigure5ParallelPowerGraph(b *testing.B) {
+	ds := benchDataset(b)
+	for _, par := range benchPoolSizes() {
+		b.Run(fmt.Sprintf("parallelism-%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchRunParallel(b, "PowerGraph", ds, par)
+			}
+		})
+	}
+}
+
+// BenchmarkFigure8ParallelGantt measures the Figure 8 workload (Giraph
+// run plus per-worker gantt assembly) at each host pool size.
+func BenchmarkFigure8ParallelGantt(b *testing.B) {
+	ds := benchDataset(b)
+	for _, par := range benchPoolSizes() {
+		b.Run(fmt.Sprintf("parallelism-%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := benchRunParallel(b, "Giraph", ds, par)
+				if len(viz.WorkerGantt(out.Job, 96, 1, 0)) == 0 {
+					b.Fatal("empty gantt")
+				}
+			}
+		})
+	}
+}
+
+// TestEmitParallelBenchJSON writes BENCH_parallel.json — serial vs
+// parallel wall-clock for the figure workloads — when BENCH_PARALLEL_OUT
+// names the output path. CI runs it to archive the numbers; without the
+// env var it is a no-op skip.
+func TestEmitParallelBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_PARALLEL_OUT")
+	if path == "" {
+		t.Skip("BENCH_PARALLEL_OUT not set")
+	}
+	cfg := datagen.DG1000Shaped(42)
+	cfg.Vertices = 20_000
+	cfg.Edges = 100_000
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time1 := func(platform string, par int) float64 {
+		start := time.Now()
+		out, err := platforms.Run(platforms.Spec{
+			Platform:        platform,
+			Algorithm:       "BFS",
+			Source:          datagen.PeripheralSource(ds.Graph),
+			Dataset:         ds,
+			HostParallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.ModelErrors) != 0 {
+			t.Fatalf("model errors: %v", out.ModelErrors)
+		}
+		return time.Since(start).Seconds() * 1e3
+	}
+	type row struct {
+		Workload   string  `json:"workload"`
+		SerialMs   float64 `json:"serial_ms"`
+		ParallelMs float64 `json:"parallel_ms"`
+		Speedup    float64 `json:"speedup"`
+	}
+	report := struct {
+		Cores     int   `json:"cores"`
+		Workloads []row `json:"workloads"`
+	}{Cores: runtime.NumCPU()}
+	for _, platform := range []string{"Giraph", "PowerGraph"} {
+		time1(platform, 1) // warm caches before timing
+		serial := time1(platform, 1)
+		parallel := time1(platform, runtime.NumCPU())
+		report.Workloads = append(report.Workloads, row{
+			Workload:   "fig5-bfs-" + platform,
+			SerialMs:   serial,
+			ParallelMs: parallel,
+			Speedup:    serial / parallel,
+		})
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
 }
 
 // --- Ablation benchmarks (design choices from DESIGN.md) ---

@@ -33,9 +33,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "dataset generation seed")
 	quick := flag.Bool("quick", false, "use a smaller stand-in graph (faster, slightly noisier shapes)")
 	outDir := flag.String("out", "", "directory for SVG figures, HTML report, and the archive (optional)")
+	parallelism := flag.Int("parallelism", 0, "engine host parallelism; results are identical for every value (0 = NumCPU, 1 = serial)")
 	flag.Parse()
 
-	r := &runner{seed: *seed, quick: *quick, outDir: *outDir}
+	r := &runner{seed: *seed, quick: *quick, outDir: *outDir, parallelism: *parallelism}
 	steps, order := experimentSteps(r)
 	var selected []string
 	if *exp == "all" {
@@ -78,9 +79,10 @@ func experimentSteps(r *runner) (map[string]func() error, []string) {
 }
 
 type runner struct {
-	seed   int64
-	quick  bool
-	outDir string
+	seed        int64
+	quick       bool
+	outDir      string
+	parallelism int
 	// vertices/edges, when non-zero, override the dataset size below
 	// even -quick scale (used by the smoke test).
 	vertices, edges int64
@@ -126,10 +128,11 @@ func (r *runner) run(platform string) (*platforms.Output, error) {
 	fmt.Fprintf(os.Stderr, "[experiments] running BFS on %s (%s, %d edges at dg1000 scale)...\n",
 		platform, ds.Name, len(ds.Edges))
 	out, err := platforms.Run(platforms.Spec{
-		Platform:  platform,
-		Algorithm: "BFS",
-		Source:    datagen.PeripheralSource(ds.Graph),
-		Dataset:   ds,
+		Platform:        platform,
+		Algorithm:       "BFS",
+		Source:          datagen.PeripheralSource(ds.Graph),
+		Dataset:         ds,
+		HostParallelism: r.parallelism,
 	})
 	if err != nil {
 		return nil, err

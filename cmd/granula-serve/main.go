@@ -70,6 +70,7 @@ type serveConfig struct {
 	drain        time.Duration
 	jobTimeout   time.Duration
 	chaos        string
+	parallelism  int
 }
 
 // parseFlags parses args into a serveConfig without touching globals,
@@ -89,6 +90,7 @@ func parseFlags(args []string, stderr io.Writer) (*serveConfig, error) {
 	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "graceful-shutdown drain budget")
 	fs.DurationVar(&cfg.jobTimeout, "job-timeout", 0, "default per-job deadline applied when a submit carries none (0 = unlimited)")
 	fs.StringVar(&cfg.chaos, "chaos", "", `fault-injection spec, e.g. "rate=0.1,seed=7,kinds=error+latency+torn" (see internal/faults)`)
+	fs.IntVar(&cfg.parallelism, "parallelism", 0, "per-job engine host parallelism; results are identical for every value (0 = NumCPU divided across the worker pool)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -158,8 +160,9 @@ func run(args []string, stderr io.Writer) int {
 			cfg.dataDir, store.Len())
 	}
 	exec := service.NewExecutorWith(cfg.workers, cfg.queueCap, store, metrics, service.ExecutorOptions{
-		Faults:         inj,
-		DefaultTimeout: cfg.jobTimeout,
+		Faults:          inj,
+		DefaultTimeout:  cfg.jobTimeout,
+		HostParallelism: cfg.parallelism,
 	})
 	srv := service.NewServerWith(exec, store, metrics, service.ServerOptions{Faults: inj})
 

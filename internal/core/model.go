@@ -235,7 +235,16 @@ func (m *Model) CheckJob(job *archive.Job) []ConformanceError {
 			actorCounts[child.Mission][child.Actor]++
 			walk(child, cs)
 		}
-		for mission, cs := range specs {
+		// Check modeled children in model order (not map order), so the
+		// emitted conformance errors are deterministic run to run.
+		seen := map[string]bool{}
+		for _, cs := range spec.Children {
+			mission := cs.Mission
+			if seen[mission] {
+				continue
+			}
+			seen[mission] = true
+			cs = specs[mission] // duplicate missions: the index's winner
 			n := counts[mission]
 			if n == 0 {
 				// Models are refined incrementally (requirement R3): a job
@@ -252,8 +261,13 @@ func (m *Model) CheckJob(job *archive.Job) []ConformanceError {
 			}
 			if !cs.Repeatable {
 				if cs.PerActor {
-					for actor, c := range actorCounts[mission] {
-						if c > 1 {
+					actors := make([]string, 0, len(actorCounts[mission]))
+					for actor := range actorCounts[mission] {
+						actors = append(actors, actor)
+					}
+					sort.Strings(actors)
+					for _, actor := range actors {
+						if c := actorCounts[mission][actor]; c > 1 {
 							errs = append(errs, ConformanceError{
 								OpID: op.ID, Mission: op.Mission,
 								Problem: fmt.Sprintf("mission %q appears %d times for actor %s but is not repeatable", mission, c, actor),

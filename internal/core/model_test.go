@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -235,5 +236,70 @@ func TestDomainBreakdownErrors(t *testing.T) {
 	j.Root.Children = j.Root.Children[:1] // drop everything after Startup
 	if _, err := DomainBreakdown(j); err == nil {
 		t.Fatal("expected error for missing domain operations")
+	}
+}
+
+func TestCheckJobErrorsDeterministic(t *testing.T) {
+	// Several missing required domain children plus several per-actor
+	// repetition violations: with map-order iteration the error sequence
+	// shuffled run to run; it must be stable (model order, then sorted
+	// actors).
+	model := &Model{
+		Platform: "Det",
+		Root: &OperationSpec{
+			Mission: "Job", ActorType: "Client", Level: LevelDomain,
+			Children: []*OperationSpec{
+				{Mission: "Alpha", ActorType: "M", Level: LevelDomain},
+				{Mission: "Beta", ActorType: "M", Level: LevelDomain},
+				{Mission: "Gamma", ActorType: "M", Level: LevelDomain},
+				{Mission: "Delta", ActorType: "M", Level: LevelDomain},
+				{Mission: "Work", ActorType: "W", Level: LevelSystem, PerActor: true},
+			},
+		},
+	}
+	if err := model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	job := &archive.Job{
+		ID: "det",
+		Root: &archive.Operation{
+			ID: "r", Mission: "Job", Actor: "Client", Start: 0, End: 1,
+			Children: []*archive.Operation{
+				{ID: "w1a", Mission: "Work", Actor: "W-1", Start: 0, End: 1},
+				{ID: "w1b", Mission: "Work", Actor: "W-1", Start: 0, End: 1},
+				{ID: "w2a", Mission: "Work", Actor: "W-2", Start: 0, End: 1},
+				{ID: "w2b", Mission: "Work", Actor: "W-2", Start: 0, End: 1},
+				{ID: "w3a", Mission: "Work", Actor: "W-3", Start: 0, End: 1},
+				{ID: "w3b", Mission: "Work", Actor: "W-3", Start: 0, End: 1},
+			},
+		},
+	}
+	render := func(errs []ConformanceError) string {
+		var sb strings.Builder
+		for _, e := range errs {
+			fmt.Fprintf(&sb, "%s|%s|%s\n", e.OpID, e.Mission, e.Problem)
+		}
+		return sb.String()
+	}
+	want := render(model.CheckJob(job))
+	if want == "" {
+		t.Fatal("expected conformance errors")
+	}
+	for i := 0; i < 50; i++ {
+		if got := render(model.CheckJob(job)); got != want {
+			t.Fatalf("run %d: error order changed:\n got: %s\nwant: %s", i, got, want)
+		}
+	}
+	// Model order puts the missing Alpha..Delta first, then the per-actor
+	// violations sorted by actor.
+	errs := model.CheckJob(job)
+	if len(errs) != 7 {
+		t.Fatalf("got %d errors, want 7: %v", len(errs), errs)
+	}
+	wantOrder := []string{"Alpha", "Beta", "Gamma", "Delta", "W-1", "W-2", "W-3"}
+	for i, frag := range wantOrder {
+		if !strings.Contains(errs[i].Problem, frag) {
+			t.Fatalf("error %d = %q, want mention of %q", i, errs[i].Problem, frag)
+		}
 	}
 }

@@ -373,6 +373,7 @@ func (j *job) initState() {
 		g:            g,
 		vc:           vc,
 		k:            k,
+		pool:         sim.NewHostPool(j.cfg.HostParallelism),
 		localOut:     make([]map[graph.VertexID][]graph.VertexID, k),
 		localIn:      make([]map[graph.VertexID][]graph.VertexID, k),
 		values:       make([]float64, g.NumVertices()),

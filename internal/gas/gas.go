@@ -142,6 +142,12 @@ type Config struct {
 	ParallelLoad bool
 	// WorkScale multiplies work-derived costs (see pregel.Config).
 	WorkScale float64
+	// HostParallelism bounds how many host (OS-level) goroutines execute
+	// the semantic gather/apply/scatter phases of one iteration
+	// concurrently. It changes only wall-clock speed, never results:
+	// archives are byte-identical for every value. 0 selects
+	// runtime.NumCPU(); 1 is the serial engine.
+	HostParallelism int
 	// Costs is the platform cost model.
 	Costs CostModel
 }

@@ -2,18 +2,24 @@ package gas
 
 import (
 	"repro/internal/graph"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
 // state is the shared semantic state of a running GAS job. As with the
-// Pregel engine, the simulation kernel is cooperative, so no locking is
-// needed; the first rank to reach an iteration triggers the (instantaneous
-// in simulated time) semantic computation for that iteration, and all
-// ranks then charge their own measured share of the work.
+// Pregel engine, the simulation kernel is cooperative, so the iteration
+// structure needs no locking; the first rank to reach an iteration
+// triggers the (instantaneous in simulated time) semantic computation for
+// that iteration, and all ranks then charge their own measured share of
+// the work. Within that computation the gather, apply, and scatter phases
+// each fan across the host pool (see ensurePrepared); every fork writes
+// only vertex-disjoint or shard-private state, and shard results merge in
+// fixed shard order, so results are identical for every pool size.
 type state struct {
-	g  *graph.Graph
-	vc *graph.VertexCut
-	k  int
+	g    *graph.Graph
+	vc   *graph.VertexCut
+	k    int
+	pool *sim.HostPool
 
 	// localOut[m][v] / localIn[m][v] are v's out-/in-neighbors along
 	// edges placed on machine m.
@@ -41,6 +47,44 @@ type state struct {
 	activationsPerRank []int64
 
 	nextActive []bool
+
+	// accs/hasAcc hold the gather accumulators, indexed by vertex. They
+	// replace a per-iteration map so that parallel gather shards write
+	// vertex-disjoint slots; only active vertices are cleared and read.
+	accs   []float64
+	hasAcc []bool
+}
+
+// gasShard holds one shard's private counters and activation candidates
+// for one iteration; merged into the shared state in shard-index order.
+// Every counter is an integer sum and every activation is idempotent, so
+// the merged result is independent of how the active list was sharded.
+type gasShard struct {
+	gatherEdges  []int64
+	applyCount   []int64
+	scatterEdges []int64
+	partialMsgs  [][]int64
+	syncMsgs     [][]int64
+	activations  []graph.VertexID
+}
+
+func newGasShards(n, k int) []*gasShard {
+	shards := make([]*gasShard, n)
+	for i := range shards {
+		s := &gasShard{
+			gatherEdges:  make([]int64, k),
+			applyCount:   make([]int64, k),
+			scatterEdges: make([]int64, k),
+			partialMsgs:  make([][]int64, k),
+			syncMsgs:     make([][]int64, k),
+		}
+		for m := 0; m < k; m++ {
+			s.partialMsgs[m] = make([]int64, k)
+			s.syncMsgs[m] = make([]int64, k)
+		}
+		shards[i] = s
+	}
+	return shards
 }
 
 func (st *state) resetCounters() {
@@ -56,6 +100,8 @@ func (st *state) resetCounters() {
 		st.syncMsgs[m] = make([]int64, st.k)
 	}
 	st.nextActive = make([]bool, st.g.NumVertices())
+	st.accs = make([]float64, st.g.NumVertices())
+	st.hasAcc = make([]bool, st.g.NumVertices())
 }
 
 // ensurePrepared runs the semantic gather/apply/scatter for iteration it
@@ -94,77 +140,125 @@ func (st *state) ensurePrepared(prog Program, it int) {
 		}
 	}
 
-	// Gather.
-	accs := make(map[graph.VertexID]float64, len(activeList))
-	for _, v := range activeList {
-		master := st.vc.Master(v)
-		first := true
-		var acc float64
-		for _, m := range st.vc.Replicas(v) {
-			edges := st.gatherNeighbors(gatherDir, m, v)
-			if len(edges) == 0 {
-				continue
-			}
-			st.gatherEdges[m] += int64(len(edges))
-			localFirst := true
-			var partial float64
-			for _, o := range edges {
-				g := prog.Gather(it, v, o, st.values[o])
-				if localFirst {
-					partial = g
-					localFirst = false
-				} else {
-					partial = prog.Sum(partial, g)
-				}
-			}
-			if m != master {
-				st.partialMsgs[m][master]++
-			}
-			if first {
-				acc = partial
-				first = false
-			} else {
-				acc = prog.Sum(acc, partial)
-			}
-		}
-		if !first {
-			accs[v] = acc
-		}
+	// Shard the active list into contiguous chunks, one per host
+	// goroutine. Each phase forks across the shards and joins before the
+	// next (gather → apply → scatter need barriers: apply reads every
+	// gather accumulator, scatter reads every applied value). Per-vertex
+	// work is self-contained, so the chunk boundaries never change any
+	// result — only how the host wall-clock work is divided.
+	nShards := st.pool.Parallelism()
+	if nShards > len(activeList) {
+		nShards = len(activeList)
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
+	shards := newGasShards(nShards, st.k)
+	chunk := func(i int) []graph.VertexID {
+		lo := i * len(activeList) / nShards
+		hi := (i + 1) * len(activeList) / nShards
+		return activeList[lo:hi]
 	}
 
-	// Apply.
-	newValues := make(map[graph.VertexID]float64, len(activeList))
+	// Gather: accumulate each active vertex's neighborhood into its own
+	// accs slot. Reads only values written before this iteration.
 	for _, v := range activeList {
-		master := st.vc.Master(v)
-		st.applyCount[master]++
-		acc, has := accs[v]
-		nv := prog.Apply(it, v, st.values[v], acc, has)
-		newValues[v] = nv
-		if nv != st.values[v] {
+		st.hasAcc[v] = false
+	}
+	st.pool.ForkJoin(nShards, func(i int) {
+		sh := shards[i]
+		for _, v := range chunk(i) {
+			master := st.vc.Master(v)
+			first := true
+			var acc float64
 			for _, m := range st.vc.Replicas(v) {
+				edges := st.gatherNeighbors(gatherDir, m, v)
+				if len(edges) == 0 {
+					continue
+				}
+				sh.gatherEdges[m] += int64(len(edges))
+				localFirst := true
+				var partial float64
+				for _, o := range edges {
+					g := prog.Gather(it, v, o, st.values[o])
+					if localFirst {
+						partial = g
+						localFirst = false
+					} else {
+						partial = prog.Sum(partial, g)
+					}
+				}
 				if m != master {
-					st.syncMsgs[master][m]++
+					sh.partialMsgs[m][master]++
+				}
+				if first {
+					acc = partial
+					first = false
+				} else {
+					acc = prog.Sum(acc, partial)
+				}
+			}
+			if !first {
+				st.accs[v] = acc
+				st.hasAcc[v] = true
+			}
+		}
+	})
+
+	// Apply: each shard updates its own vertices' values in place — every
+	// Apply reads only its own vertex's old value and accumulator.
+	st.pool.ForkJoin(nShards, func(i int) {
+		sh := shards[i]
+		for _, v := range chunk(i) {
+			master := st.vc.Master(v)
+			sh.applyCount[master]++
+			nv := prog.Apply(it, v, st.values[v], st.accs[v], st.hasAcc[v])
+			if nv != st.values[v] {
+				st.values[v] = nv
+				for _, m := range st.vc.Replicas(v) {
+					if m != master {
+						sh.syncMsgs[master][m]++
+					}
 				}
 			}
 		}
-	}
-	for v, nv := range newValues {
-		st.values[v] = nv
-	}
+	})
 
-	// Scatter.
-	for _, v := range activeList {
-		for _, m := range st.vc.Replicas(v) {
-			edges := st.gatherNeighbors(scatterDir, m, v)
-			if len(edges) == 0 {
-				continue
-			}
-			st.scatterEdges[m] += int64(len(edges))
-			for _, o := range edges {
-				if prog.Scatter(it, v, o, st.values[v], st.values[o]) && !st.nextActive[o] {
-					st.nextActive[o] = true
-					st.activationsPerRank[st.vc.Master(o)]++
+	// Scatter: reads applied values everywhere, records activation
+	// candidates privately; activation itself happens at the merge.
+	st.pool.ForkJoin(nShards, func(i int) {
+		sh := shards[i]
+		for _, v := range chunk(i) {
+			for _, m := range st.vc.Replicas(v) {
+				edges := st.gatherNeighbors(scatterDir, m, v)
+				if len(edges) == 0 {
+					continue
 				}
+				sh.scatterEdges[m] += int64(len(edges))
+				for _, o := range edges {
+					if prog.Scatter(it, v, o, st.values[v], st.values[o]) {
+						sh.activations = append(sh.activations, o)
+					}
+				}
+			}
+		}
+	})
+
+	// Merge shard counters and activations in shard-index order.
+	for _, sh := range shards {
+		for m := 0; m < st.k; m++ {
+			st.gatherEdges[m] += sh.gatherEdges[m]
+			st.applyCount[m] += sh.applyCount[m]
+			st.scatterEdges[m] += sh.scatterEdges[m]
+			for d := 0; d < st.k; d++ {
+				st.partialMsgs[m][d] += sh.partialMsgs[m][d]
+				st.syncMsgs[m][d] += sh.syncMsgs[m][d]
+			}
+		}
+		for _, o := range sh.activations {
+			if !st.nextActive[o] {
+				st.nextActive[o] = true
+				st.activationsPerRank[st.vc.Master(o)]++
 			}
 		}
 	}

@@ -55,6 +55,12 @@ type Spec struct {
 	JobID string
 	// SampleInterval is the environment monitor period; 0 selects 1 s.
 	SampleInterval float64
+	// HostParallelism bounds the host goroutines the engines may use for
+	// semantic superstep/iteration compute. It changes only wall-clock
+	// speed — archives are byte-identical for every value. 0 selects
+	// runtime.NumCPU(); 1 forces the serial engine. When a Pregel/GAS
+	// override config sets its own HostParallelism, that wins.
+	HostParallelism int
 	// Pregel / GAS / Single override the calibrated platform configs
 	// when non-nil.
 	Pregel *pregel.Config
@@ -186,6 +192,9 @@ func runGiraph(ctx context.Context, spec Spec) (*Output, error) {
 		cfg.ParseThreads = minInt(cfg.ParseThreads, spec.Cluster.CoresPerNode)
 	}
 	cfg.WorkScale = spec.WorkScale
+	if cfg.HostParallelism == 0 {
+		cfg.HostParallelism = spec.HostParallelism
+	}
 	prog, combiner, err := pregelProgram(spec)
 	if err != nil {
 		return nil, err
@@ -241,6 +250,9 @@ func runPowerGraph(ctx context.Context, spec Spec) (*Output, error) {
 		cfg.ComputeThreads = minInt(cfg.ComputeThreads, spec.Cluster.CoresPerNode)
 	}
 	cfg.WorkScale = spec.WorkScale
+	if cfg.HostParallelism == 0 {
+		cfg.HostParallelism = spec.HostParallelism
+	}
 	prog, err := gasProgram(spec)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,104 @@
+package platforms
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/datagen"
+)
+
+// archiveBytes runs one (platform, algorithm) job at the given host
+// parallelism and returns the serialized archive.
+func archiveBytes(t *testing.T, ds *datagen.Dataset, platform, algorithm string, par int) []byte {
+	t.Helper()
+	out, err := Run(Spec{
+		Platform:        platform,
+		Algorithm:       algorithm,
+		Dataset:         ds,
+		Cluster:         smallCluster(),
+		WorkScale:       1,
+		Iterations:      3,
+		HostParallelism: par,
+	})
+	if err != nil {
+		t.Fatalf("%s/%s par=%d: %v", platform, algorithm, par, err)
+	}
+	a := archive.New()
+	a.Add(out.Job)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestArchiveBytesIdenticalAcrossPoolSizes is the issue's acceptance
+// table: for every engine and algorithm, the serialized archive must be
+// byte-for-byte identical for HostParallelism 1, 2, 4, and NumCPU. Host
+// parallelism may only change wall-clock speed, never results.
+func TestArchiveBytesIdenticalAcrossPoolSizes(t *testing.T) {
+	ds := smallDataset(t)
+	pools := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		pools = append(pools, n)
+	}
+	for _, platform := range []string{"Giraph", "PowerGraph"} {
+		for _, algorithm := range []string{"BFS", "PageRank"} {
+			t.Run(platform+"/"+algorithm, func(t *testing.T) {
+				serial := archiveBytes(t, ds, platform, algorithm, 1)
+				for _, par := range pools[1:] {
+					got := archiveBytes(t, ds, platform, algorithm, par)
+					if !bytes.Equal(got, serial) {
+						t.Fatalf("parallelism=%d archive differs from serial: %d vs %d bytes (first diff at %d)",
+							par, len(got), len(serial), firstDiff(got, serial))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelSpeedupOnFigure5Workload is the issue's performance gate:
+// on a host with at least 4 cores, building the Figure 5 Giraph BFS
+// archive with HostParallelism=NumCPU must be at least 2x faster than
+// the serial build, with byte-identical archives. On smaller hosts the
+// equivalence half still runs; the timing half is skipped because there
+// is no parallel hardware to speed anything up.
+func TestParallelSpeedupOnFigure5Workload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test; skipped in -short mode")
+	}
+	// Figure 5 shape at reduced scale so the serial leg stays test-sized.
+	cfg := datagen.DG1000Shaped(7)
+	cfg.Vertices = 30_000
+	cfg.Edges = 150_000
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(par int) ([]byte, time.Duration) {
+		start := time.Now()
+		b := archiveBytes(t, ds, "Giraph", "BFS", par)
+		return b, time.Since(start)
+	}
+
+	serialBytes, serialWall := run(1)
+	parBytes, parWall := run(runtime.NumCPU())
+	if !bytes.Equal(serialBytes, parBytes) {
+		t.Fatalf("parallel archive differs from serial: %d vs %d bytes (first diff at %d)",
+			len(parBytes), len(serialBytes), firstDiff(parBytes, serialBytes))
+	}
+	t.Logf("serial %v, parallel(%d cores) %v, speedup %.2fx",
+		serialWall, runtime.NumCPU(), parWall, float64(serialWall)/float64(parWall))
+	if runtime.NumCPU() < 4 {
+		t.Skipf("host has %d cores; >=2x speedup gate needs >= 4", runtime.NumCPU())
+	}
+	if speedup := float64(serialWall) / float64(parWall); speedup < 2 {
+		t.Fatalf("parallel archive build speedup %.2fx, want >= 2x (serial %v, parallel %v)",
+			speedup, serialWall, parWall)
+	}
+}

@@ -5,13 +5,22 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/sim"
 )
 
 // Context is the view a vertex program gets of one vertex during one
 // Compute call. It exposes Pregel's full vertex API: value access,
 // messaging, halting, topology, and aggregators.
+//
+// Compute calls for different workers may run on different host
+// goroutines (see jobState.prepareSuperstep), so every mutation a Context
+// performs lands either on state owned exclusively by this vertex's
+// worker (values, halt flags, inboxes of owned vertices) or in the
+// worker's private outbox, which the engine merges in worker-index order
+// at the superstep barrier.
 type Context struct {
 	js        *jobState
+	out       *workerOutbox
 	worker    int
 	vertex    graph.VertexID
 	superstep int
@@ -46,13 +55,13 @@ func (c *Context) OutNeighbors() []graph.VertexID {
 
 // SendTo sends msg to vertex dst, delivered in the next superstep.
 func (c *Context) SendTo(dst graph.VertexID, msg float64) {
-	c.js.send(c.worker, dst, msg)
+	c.js.sendShard(c.out, c.worker, dst, msg)
 }
 
 // SendToAllNeighbors sends msg along every out-edge.
 func (c *Context) SendToAllNeighbors(msg float64) {
 	for _, dst := range c.js.g.OutNeighbors(c.vertex) {
-		c.js.send(c.worker, dst, msg)
+		c.js.sendShard(c.out, c.worker, dst, msg)
 	}
 }
 
@@ -64,7 +73,11 @@ func (c *Context) VoteToHalt() { c.js.halted[c.vertex] = true }
 // registration time via RegisterAggregator on the job config... registered
 // implicitly on first use with a sum semantics unless declared.
 func (c *Context) Aggregate(name string, v float64) {
-	c.js.aggregateNext(name, v)
+	// Recorded as an ordered (name, value) pair and replayed at the merge
+	// barrier, so the floating-point reduction order is exactly the serial
+	// engine's regardless of host parallelism.
+	c.out.aggNames = append(c.out.aggNames, name)
+	c.out.aggVals = append(c.out.aggVals, v)
 }
 
 // AggregatedValue returns the named aggregator's value from the previous
@@ -74,8 +87,11 @@ func (c *Context) AggregatedValue(name string) float64 {
 }
 
 // jobState is the shared in-memory state of a running job. The simulation
-// kernel is cooperative (one process at a time), so no locking is needed;
-// BSP double-buffering keeps superstep semantics exact.
+// kernel is cooperative (one process at a time), so the superstep barrier
+// structure needs no locking; within one superstep the semantic compute is
+// fanned across a HostPool, with every fork writing only worker-private
+// state and every merge running in fixed worker-index order so the result
+// is byte-identical for any pool size (see prepareSuperstep).
 type jobState struct {
 	g      *graph.Graph
 	owner  []int // vertex -> worker
@@ -83,53 +99,90 @@ type jobState struct {
 	halted []bool
 
 	// inboxCur is read during the current superstep; message delivery
-	// appends to inboxNext.
+	// appends to inboxNext at the merge barrier.
 	inboxCur  [][]float64
 	inboxNext [][]float64
 
-	combiner Combiner
-	// lastSender tags, per destination vertex, the (worker, superstep)
-	// that last combined into inboxNext[v], so combined wire messages can
-	// be counted per sending worker.
-	lastSenderWorker []int
-	lastSenderStep   []int
-	superstep        int
+	combiner  Combiner
+	superstep int
 
 	aggCur, aggNext map[string]float64
+
+	// Host-parallel superstep compute. outboxes[w] is worker w's private
+	// buffer for one superstep; shardLastEpoch/shardLastIdx implement
+	// sender-side combining per (worker, destination) without touching
+	// shared state: a row is only ever written by its own worker's fork.
+	hostPool       *sim.HostPool
+	outboxes       []*workerOutbox
+	shardLastEpoch [][]int64 // [from][dst] -> epoch of the combined entry
+	shardLastIdx   [][]int64 // [from][dst] -> index into outbox vals
+	sendEpoch      int64     // bumped once per prepareSuperstep, never reused
+	preparedStep   int       // superstep the outboxes currently hold; -1 none
 
 	// Per-superstep, per-worker work counters, reset each superstep.
 	vertexCount  []int64   // Compute invocations
 	sendCount    []int64   // messages passed to send (pre-combining)
+	recvCount    []int64   // messages delivered to the worker's vertices
 	wireCount    [][]int64 // [from][toWorker] combined messages
 	deliveredCnt int64     // messages delivered into inboxNext this superstep
 
 	totalWireMessages int64
 }
 
-func newJobState(g *graph.Graph, part graph.Partitioner, workers int, combiner Combiner) *jobState {
+// workerOutbox buffers one worker's superstep effects until the merge
+// barrier: outgoing messages in send order, aggregator contributions in
+// call order, and the work counters the trace reports per worker.
+type workerOutbox struct {
+	epoch    int64
+	dsts     []graph.VertexID
+	vals     []float64
+	aggNames []string
+	aggVals  []float64
+	wire     []int64 // per destination worker, combined messages
+	sent     int64   // pre-combining sends
+	vertices int64   // Compute invocations
+	received int64   // messages read from inboxCur
+}
+
+func (o *workerOutbox) reset(epoch int64) {
+	o.epoch = epoch
+	o.dsts = o.dsts[:0]
+	o.vals = o.vals[:0]
+	o.aggNames = o.aggNames[:0]
+	o.aggVals = o.aggVals[:0]
+	for d := range o.wire {
+		o.wire[d] = 0
+	}
+	o.sent, o.vertices, o.received = 0, 0, 0
+}
+
+func newJobState(g *graph.Graph, part graph.Partitioner, workers int, combiner Combiner, pool *sim.HostPool) *jobState {
 	n := g.NumVertices()
 	js := &jobState{
-		g:                g,
-		owner:            make([]int, n),
-		values:           make([]float64, n),
-		halted:           make([]bool, n),
-		inboxCur:         make([][]float64, n),
-		inboxNext:        make([][]float64, n),
-		combiner:         combiner,
-		lastSenderWorker: make([]int, n),
-		lastSenderStep:   make([]int, n),
-		aggCur:           map[string]float64{},
-		aggNext:          map[string]float64{},
-		vertexCount:      make([]int64, workers),
-		sendCount:        make([]int64, workers),
-		wireCount:        make([][]int64, workers),
-	}
-	for i := range js.lastSenderStep {
-		js.lastSenderStep[i] = -1
-		js.lastSenderWorker[i] = -1
+		g:              g,
+		owner:          make([]int, n),
+		values:         make([]float64, n),
+		halted:         make([]bool, n),
+		inboxCur:       make([][]float64, n),
+		inboxNext:      make([][]float64, n),
+		combiner:       combiner,
+		aggCur:         map[string]float64{},
+		aggNext:        map[string]float64{},
+		hostPool:       pool,
+		outboxes:       make([]*workerOutbox, workers),
+		shardLastEpoch: make([][]int64, workers),
+		shardLastIdx:   make([][]int64, workers),
+		preparedStep:   -1,
+		vertexCount:    make([]int64, workers),
+		sendCount:      make([]int64, workers),
+		recvCount:      make([]int64, workers),
+		wireCount:      make([][]int64, workers),
 	}
 	for w := 0; w < workers; w++ {
 		js.wireCount[w] = make([]int64, workers)
+		js.outboxes[w] = &workerOutbox{wire: make([]int64, workers)}
+		js.shardLastEpoch[w] = make([]int64, n)
+		js.shardLastIdx[w] = make([]int64, n)
 	}
 	for v := int64(0); v < n; v++ {
 		js.owner[v] = part.Partition(graph.VertexID(v))
@@ -140,35 +193,86 @@ func newJobState(g *graph.Graph, part graph.Partitioner, workers int, combiner C
 	return js
 }
 
-// send delivers a message from a vertex on worker from to vertex dst,
-// applying sender-side combining when a combiner is configured.
-func (js *jobState) send(from int, dst graph.VertexID, msg float64) {
+// sendShard records a message from a vertex on worker from into the
+// worker's private outbox, applying sender-side combining when a combiner
+// is configured. Within one superstep all of a worker's messages to dst
+// collapse into one combined wire message, exactly as in the serial
+// engine where each worker's sends to a destination were contiguous.
+func (js *jobState) sendShard(out *workerOutbox, from int, dst graph.VertexID, msg float64) {
 	if dst < 0 || int64(dst) >= js.g.NumVertices() {
 		panic(fmt.Sprintf("pregel: message to unknown vertex %d", dst))
 	}
-	js.sendCount[from]++
-	toWorker := js.owner[dst]
+	out.sent++
 	if js.combiner != nil {
-		// Within one superstep, all of worker `from`'s messages to dst are
-		// contiguous, so a change of (worker, superstep) tag marks a new
-		// combined wire message.
-		if js.lastSenderWorker[dst] == from && js.lastSenderStep[dst] == js.superstep {
-			last := len(js.inboxNext[dst]) - 1
-			js.inboxNext[dst][last] = js.combiner.Combine(js.inboxNext[dst][last], msg)
+		if js.shardLastEpoch[from][dst] == out.epoch {
+			i := js.shardLastIdx[from][dst]
+			out.vals[i] = js.combiner.Combine(out.vals[i], msg)
 			return
 		}
-		js.lastSenderWorker[dst] = from
-		js.lastSenderStep[dst] = js.superstep
+		js.shardLastEpoch[from][dst] = out.epoch
+		js.shardLastIdx[from][dst] = int64(len(out.vals))
 	}
-	js.inboxNext[dst] = append(js.inboxNext[dst], msg)
-	js.wireCount[from][toWorker]++
-	js.deliveredCnt++
-	js.totalWireMessages++
+	out.dsts = append(out.dsts, dst)
+	out.vals = append(out.vals, msg)
+	out.wire[js.owner[dst]]++
 }
 
-// aggregateNext adds v into the named aggregator for the next superstep.
-func (js *jobState) aggregateNext(name string, v float64) {
-	js.aggNext[name] += v
+// computeShard runs the vertex program over one worker's owned active
+// vertices, recording every effect either in worker-owned state (values,
+// halt flags) or in the worker's private outbox. It runs on a host pool
+// goroutine; it must not touch any other worker's state.
+func (js *jobState) computeShard(program Program, w, step int) {
+	out := js.outboxes[w]
+	out.reset(js.sendEpoch)
+	n := js.g.NumVertices()
+	for v := int64(0); v < n; v++ {
+		if js.owner[v] != w {
+			continue
+		}
+		inbox := js.inboxCur[v]
+		if js.halted[v] && len(inbox) == 0 {
+			continue
+		}
+		js.halted[v] = false
+		ctx := Context{js: js, out: out, worker: w, vertex: graph.VertexID(v), superstep: step}
+		program.Compute(&ctx, inbox)
+		out.vertices++
+		out.received += int64(len(inbox))
+	}
+}
+
+// prepareSuperstep runs the semantic compute of every worker for one
+// superstep, fanned across the host pool, then merges the private
+// outboxes in fixed worker-index order. The first worker process to reach
+// its Compute phase triggers it; the others find the step already
+// prepared. Because each fork writes only private state and the merge
+// order is fixed, message order, combining, aggregator floating-point
+// reduction order, and every counter are identical for any pool size —
+// including the serial pool, which reproduces the old engine exactly.
+func (js *jobState) prepareSuperstep(program Program, step int) {
+	if js.preparedStep == step {
+		return
+	}
+	js.preparedStep = step
+	js.sendEpoch++
+	js.hostPool.ForkJoin(len(js.outboxes), func(w int) {
+		js.computeShard(program, w, step)
+	})
+	for from, out := range js.outboxes {
+		for i, dst := range out.dsts {
+			js.inboxNext[dst] = append(js.inboxNext[dst], out.vals[i])
+		}
+		for i, name := range out.aggNames {
+			js.aggNext[name] += out.aggVals[i]
+		}
+		js.vertexCount[from] = out.vertices
+		js.sendCount[from] = out.sent
+		js.recvCount[from] = out.received
+		copy(js.wireCount[from], out.wire)
+		wire := int64(len(out.dsts))
+		js.deliveredCnt += wire
+		js.totalWireMessages += wire
+	}
 }
 
 // stateSnapshot is a checkpoint of the BSP state taken before a superstep
@@ -219,19 +323,20 @@ func (js *jobState) restore(s *stateSnapshot) {
 	for k := range js.aggNext {
 		delete(js.aggNext, k)
 	}
-	for v := range js.lastSenderStep {
-		js.lastSenderStep[v] = -1
-		js.lastSenderWorker[v] = -1
-	}
 	for w := range js.vertexCount {
 		js.vertexCount[w] = 0
 		js.sendCount[w] = 0
+		js.recvCount[w] = 0
 		for d := range js.wireCount[w] {
 			js.wireCount[w][d] = 0
 		}
 	}
 	js.deliveredCnt = 0
 	js.superstep = s.superstep
+	// The restored superstep must be recomputed even though a prepare ran
+	// for it before the crash; sendEpoch is monotonic, so stale combining
+	// tags from that earlier run can never match a future epoch.
+	js.preparedStep = -1
 }
 
 // swapBuffers advances BSP state at the superstep barrier: next-inboxes
@@ -256,6 +361,7 @@ func (js *jobState) swapBuffers() (delivered int64, active int64) {
 	for w := range js.vertexCount {
 		js.vertexCount[w] = 0
 		js.sendCount[w] = 0
+		js.recvCount[w] = 0
 		for d := range js.wireCount[w] {
 			js.wireCount[w][d] = 0
 		}

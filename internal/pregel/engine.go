@@ -56,7 +56,7 @@ func RunJob(p *sim.Proc, deps Deps, cfg Config, program Program, ds *datagen.Dat
 		program:        program,
 		ds:             ds,
 		em:             em,
-		js:             newJobState(ds.Graph, part, cfg.Workers, cfg.Combiner),
+		js:             newJobState(ds.Graph, part, cfg.Workers, cfg.Combiner, sim.NewHostPool(cfg.HostParallelism)),
 		checkpointedAt: -1,
 	}
 	return j.run()
@@ -512,9 +512,14 @@ func (j *job) workerSuperstep(wp *sim.Proc, w *worker, cmd workerCmd) {
 
 	// Compute: run the vertex program over owned active vertices. The
 	// semantic execution is instantaneous in simulated time; the measured
-	// work is then charged to the node's CPU.
+	// work is then charged to the node's CPU. The first worker to reach
+	// this point computes every worker's shard on the host pool (see
+	// prepareSuperstep); the rest just read their prepared counters.
 	comp := j.em.Start(local, w.actor(), "Compute")
-	vertices, sent, received := j.computeWorker(w.id, cmd.step)
+	j.js.prepareSuperstep(j.program, cmd.step)
+	vertices := j.js.vertexCount[w.id]
+	sent := j.js.sendCount[w.id]
+	received := j.js.recvCount[w.id]
 	cpu := (float64(vertices)*c.ComputeCPUPerVertex +
 		float64(sent+received)*c.ComputeCPUPerMessage) * j.cfg.WorkScale
 	w.node.ExecParallel(wp, cpu, j.cfg.ComputeThreads)
@@ -540,30 +545,6 @@ func (j *job) workerSuperstep(wp *sim.Proc, w *worker, cmd workerCmd) {
 		j.fail(err)
 	}
 	j.em.End(post)
-}
-
-// computeWorker performs the semantic vertex computation for one worker
-// and returns (vertices computed, messages sent pre-combining, messages
-// received).
-func (j *job) computeWorker(workerID, step int) (vertices, sent, received int64) {
-	js := j.js
-	sendBefore := js.sendCount[workerID]
-	n := js.g.NumVertices()
-	for v := int64(0); v < n; v++ {
-		if js.owner[v] != workerID {
-			continue
-		}
-		inbox := js.inboxCur[v]
-		if js.halted[v] && len(inbox) == 0 {
-			continue
-		}
-		js.halted[v] = false
-		ctx := Context{js: js, worker: workerID, vertex: graph.VertexID(v), superstep: step}
-		j.program.Compute(&ctx, inbox)
-		vertices++
-		received += int64(len(inbox))
-	}
-	return vertices, js.sendCount[workerID] - sendBefore, received
 }
 
 // offloadGraph implements OffloadGraph: per-worker LocalOffload →

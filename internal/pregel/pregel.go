@@ -137,6 +137,12 @@ type Config struct {
 	// laptop-sized input graph to the paper-scale dataset (dg1000). 1
 	// simulates the input graph at face value.
 	WorkScale float64
+	// HostParallelism bounds how many host (OS-level) goroutines execute
+	// the semantic per-worker compute of one superstep concurrently. It
+	// changes only wall-clock speed, never results: archives are
+	// byte-identical for every value. 0 selects runtime.NumCPU(); 1 is
+	// the serial engine.
+	HostParallelism int
 	// Costs is the platform cost model.
 	Costs CostModel
 

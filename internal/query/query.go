@@ -15,6 +15,7 @@ package query
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -360,12 +361,16 @@ func (pr predicate) eval(op *archive.Operation, depth int) bool {
 	return false
 }
 
-// compareValues compares numerically when both sides parse as numbers,
-// lexically otherwise.
+// compareValues compares numerically when both sides parse as finite
+// numbers, lexically otherwise. ParseFloat accepts "NaN" and "Inf", but
+// NaN is unordered — every float comparison against it is false, which
+// would make both `> x` and `<= x` fail and leave a total order the
+// sorter relies on broken — so non-finite operands fall back to the
+// string comparison, which is total.
 func compareValues(a, b string) int {
 	fa, errA := strconv.ParseFloat(a, 64)
 	fb, errB := strconv.ParseFloat(b, 64)
-	if errA == nil && errB == nil {
+	if errA == nil && errB == nil && isFinite(fa) && isFinite(fb) {
 		switch {
 		case fa < fb:
 			return -1
@@ -376,4 +381,8 @@ func compareValues(a, b string) int {
 		}
 	}
 	return strings.Compare(a, b)
+}
+
+func isFinite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
 }

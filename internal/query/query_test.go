@@ -150,3 +150,56 @@ func TestNumericVsStringComparison(t *testing.T) {
 	// String comparison for non-numeric values.
 	eq(t, selectIDs(t, `mission > ProcessGraph and depth = 1`), nil)
 }
+
+func TestCompareValuesEdgeCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		// Plain numerics: "10" vs "9" must compare numerically (10 > 9),
+		// not lexically ("10" < "9").
+		{"10", "9", 1},
+		{"9", "10", -1},
+		{"10", "10", 0},
+		// NaN is unordered as a float; string compare keeps a total order.
+		{"NaN", "10", 1}, // "NaN" > "10" lexically
+		{"10", "NaN", -1},
+		{"NaN", "NaN", 0},
+		// Infinities likewise fall back to string compare.
+		{"Inf", "10", 1},
+		{"+Inf", "-Inf", -1}, // lexical: '+' sorts before '-'
+		{"-Inf", "10", -1},   // "-Inf" < "10" lexically
+		{"Inf", "Inf", 0},
+	}
+	for _, c := range cases {
+		if got := compareValues(c.a, c.b); got != c.want {
+			t.Errorf("compareValues(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNonFinitePredicateKeepsTotalOrder(t *testing.T) {
+	// A NaN info value must land on exactly one side of every comparison
+	// split: with float semantics, both `> 10` and `<= 10` would be false
+	// and the operation would vanish from both result sets.
+	job := &archive.Job{
+		ID: "nan",
+		Root: &archive.Operation{
+			ID: "r", Mission: "Job", Actor: "Client", Start: 0, End: 1,
+			Infos: map[string]string{"Bytes": "NaN"},
+		},
+	}
+	sel := func(qs string) []*archive.Operation {
+		t.Helper()
+		q, err := Parse(qs)
+		if err != nil {
+			t.Fatalf("parse %q: %v", qs, err)
+		}
+		return q.Select(job)
+	}
+	gt := sel(`info.Bytes > 10`)
+	le := sel(`info.Bytes <= 10`)
+	if len(gt)+len(le) != 1 {
+		t.Fatalf("NaN info matched %d of the {>, <=} split, want exactly 1", len(gt)+len(le))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -160,6 +161,11 @@ type ExecutorOptions struct {
 	// JitterSeed seeds backoff jitter (0 selects 1), so tests get a
 	// reproducible retry schedule.
 	JitterSeed int64
+	// HostParallelism is the per-job host goroutine budget for the
+	// simulation engines. 0 divides runtime.NumCPU() across the worker
+	// pool (so concurrent jobs never oversubscribe the host); results
+	// are byte-identical for every value.
+	HostParallelism int
 }
 
 // Executor is the bounded job pool: a fixed number of workers drain a
@@ -175,6 +181,7 @@ type Executor struct {
 	faults  *faults.Injector
 	retry   RetryPolicy
 	defTO   time.Duration
+	jobPar  int // per-job engine host parallelism
 
 	// ctx is canceled when a shutdown deadline expires, aborting every
 	// in-flight simulation through its per-job context.
@@ -223,6 +230,16 @@ func NewExecutorWith(workers, queueCap int, store *Store, m *Metrics, opts Execu
 	if seed == 0 {
 		seed = 1
 	}
+	jobPar := opts.HostParallelism
+	if jobPar <= 0 {
+		// Cap workers × per-job pool at the host's cores so concurrent
+		// jobs don't oversubscribe it. Parallelism never changes results,
+		// only wall-clock speed.
+		jobPar = runtime.NumCPU() / workers
+		if jobPar < 1 {
+			jobPar = 1
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Executor{
 		store:    store,
@@ -230,6 +247,7 @@ func NewExecutorWith(workers, queueCap int, store *Store, m *Metrics, opts Execu
 		faults:   opts.Faults,
 		retry:    opts.Retry.normalized(),
 		defTO:    opts.DefaultTimeout,
+		jobPar:   jobPar,
 		ctx:      ctx,
 		cancel:   cancel,
 		queueCap: queueCap,
@@ -590,12 +608,13 @@ func (e *Executor) run(ctx context.Context, id string, req JobRequest) (Summary,
 		return Summary{}, nil, err
 	}
 	spec := platforms.Spec{
-		Platform:   req.Platform,
-		Algorithm:  req.Algorithm,
-		Source:     datagen.PeripheralSource(ds.Graph),
-		Iterations: req.Iterations,
-		Dataset:    ds,
-		JobID:      id,
+		Platform:        req.Platform,
+		Algorithm:       req.Algorithm,
+		Source:          datagen.PeripheralSource(ds.Graph),
+		Iterations:      req.Iterations,
+		Dataset:         ds,
+		JobID:           id,
+		HostParallelism: e.jobPar,
 	}
 	if req.Nodes > 0 {
 		cfg := platforms.DAS5Config()

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// HostPool bounds how many OS-level goroutines the simulation may use for
+// semantic (zero-simulated-time) computation. The kernel itself stays
+// strictly cooperative — exactly one process advances the virtual clock at
+// any instant — but a process may use ForkJoin to fan a pure computation
+// across host cores while it holds the kernel, as long as the tasks never
+// touch the engine, other processes, or any kernel primitive.
+//
+// Determinism contract: ForkJoin gives every index its own task invocation
+// and joins them all before returning. Tasks must write only to state owned
+// by their index (private shards); the caller merges shards in fixed index
+// order after ForkJoin returns. Under that discipline the observable result
+// is identical for every pool size, including 1.
+type HostPool struct {
+	par int
+}
+
+// NewHostPool returns a pool running at most n host goroutines at a time.
+// n <= 0 selects runtime.NumCPU().
+func NewHostPool(n int) *HostPool {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	return &HostPool{par: n}
+}
+
+// Parallelism returns the bound on concurrent host goroutines. A nil pool
+// reports 1, so callers can treat "no pool" as the serial engine.
+func (p *HostPool) Parallelism() int {
+	if p == nil || p.par < 1 {
+		return 1
+	}
+	return p.par
+}
+
+// ForkJoin runs task(0) … task(n-1), using up to Parallelism() host
+// goroutines, and returns only when every invocation has finished. With
+// parallelism 1 (or n <= 1) the tasks run inline in index order on the
+// calling goroutine — the serial engine, byte for byte.
+//
+// If tasks panic, ForkJoin re-panics with the panic of the lowest index
+// after all tasks have completed, so failure behaviour is deterministic
+// regardless of scheduling.
+func (p *HostPool) ForkJoin(n int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	par := p.Parallelism()
+	if par > n {
+		par = n
+	}
+	panics := make([]any, n)
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[i] = r
+			}
+		}()
+		task(i)
+	}
+	if par == 1 {
+		for i := 0; i < n; i++ {
+			runOne(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(par)
+		for g := 0; g < par; g++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, r := range panics {
+		if r != nil {
+			panic(fmt.Sprintf("sim: ForkJoin task %d panicked: %v", i, r))
+		}
+	}
+}

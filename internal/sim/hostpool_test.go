@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHostPoolRunsEveryIndexOnce(t *testing.T) {
+	for _, par := range []int{1, 2, 4, runtime.NumCPU()} {
+		pool := NewHostPool(par)
+		const n = 257
+		var counts [n]atomic.Int32
+		pool.ForkJoin(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("par=%d: index %d ran %d times, want 1", par, i, got)
+			}
+		}
+	}
+}
+
+func TestHostPoolNilAndZeroSafe(t *testing.T) {
+	var nilPool *HostPool
+	if got := nilPool.Parallelism(); got != 1 {
+		t.Fatalf("nil pool parallelism = %d, want 1", got)
+	}
+	ran := 0
+	nilPool.ForkJoin(3, func(i int) {
+		if i != ran {
+			t.Fatalf("nil pool ran out of order: got index %d at position %d", i, ran)
+		}
+		ran++
+	})
+	if ran != 3 {
+		t.Fatalf("nil pool ran %d tasks, want 3", ran)
+	}
+	NewHostPool(4).ForkJoin(0, func(int) { t.Fatal("n=0 must not run tasks") })
+	if NewHostPool(0).Parallelism() != runtime.NumCPU() {
+		t.Fatalf("NewHostPool(0) should default to NumCPU")
+	}
+}
+
+func TestHostPoolSerialIsInlineAndOrdered(t *testing.T) {
+	pool := NewHostPool(1)
+	var order []int
+	pool.ForkJoin(5, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial pool order %v, want 0..4 ascending", order)
+		}
+	}
+}
+
+func TestHostPoolMergeInIndexOrderIsDeterministic(t *testing.T) {
+	// The pattern every engine uses: private per-index shards, merged in
+	// index order after the join. The merged result must be identical for
+	// every pool size.
+	build := func(par int) []int {
+		pool := NewHostPool(par)
+		shards := make([][]int, 8)
+		pool.ForkJoin(8, func(i int) {
+			for k := 0; k < 3; k++ {
+				shards[i] = append(shards[i], i*10+k)
+			}
+		})
+		var merged []int
+		for _, s := range shards {
+			merged = append(merged, s...)
+		}
+		return merged
+	}
+	want := build(1)
+	for _, par := range []int{2, 3, 8, runtime.NumCPU()} {
+		got := build(par)
+		if len(got) != len(want) {
+			t.Fatalf("par=%d: merged length %d, want %d", par, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("par=%d: merged[%d]=%d, want %d", par, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestHostPoolPanicPropagatesLowestIndex(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		pool := NewHostPool(par)
+		var finished atomic.Int32
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("par=%d: expected panic", par)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "task 2 panicked: boom-2") {
+					t.Fatalf("par=%d: panic %v, want lowest failing index 2", par, r)
+				}
+			}()
+			pool.ForkJoin(6, func(i int) {
+				if i >= 2 && i%2 == 0 {
+					panic("boom-" + string(rune('0'+i)))
+				}
+				finished.Add(1)
+			})
+		}()
+		// All non-panicking tasks (0, 1, 3, 5) completed before the join
+		// re-panicked — identical for serial and parallel pools.
+		if got := finished.Load(); got != 4 {
+			t.Fatalf("par=%d: %d tasks finished, want 4", par, got)
+		}
+	}
+}
