@@ -43,6 +43,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -71,6 +72,10 @@ type serveConfig struct {
 	jobTimeout   time.Duration
 	chaos        string
 	parallelism  int
+	commitWindow time.Duration
+	pprofAddr    string
+	readRatio    float64
+	queries      int
 }
 
 // parseFlags parses args into a serveConfig without touching globals,
@@ -91,8 +96,20 @@ func parseFlags(args []string, stderr io.Writer) (*serveConfig, error) {
 	fs.DurationVar(&cfg.jobTimeout, "job-timeout", 0, "default per-job deadline applied when a submit carries none (0 = unlimited)")
 	fs.StringVar(&cfg.chaos, "chaos", "", `fault-injection spec, e.g. "rate=0.1,seed=7,kinds=error+latency+torn" (see internal/faults)`)
 	fs.IntVar(&cfg.parallelism, "parallelism", 0, "per-job engine host parallelism; results are identical for every value (0 = NumCPU divided across the worker pool)")
+	fs.DurationVar(&cfg.commitWindow, "commit-window", 0, "WAL group-commit window: how long the committer waits for concurrent writers to share one fsync (0 = batch only naturally-concurrent writes, no added latency)")
+	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this extra loopback address, e.g. 127.0.0.1:6060 (empty = disabled; never expose publicly)")
+	fs.Float64Var(&cfg.readRatio, "read-ratio", 0, "loadtest: fraction of operations that are reads, in [0,1) — 0.9 issues nine Zipf-distributed query reads per job submission (0 = legacy fixed read sweep per job)")
+	fs.IntVar(&cfg.queries, "queries", 16, "loadtest: distinct query strings the mixed read workload draws from (Zipf-distributed)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if cfg.readRatio < 0 || cfg.readRatio >= 1 {
+		fmt.Fprintf(stderr, "granula-serve: -read-ratio %v outside [0,1)\n", cfg.readRatio)
+		return nil, fmt.Errorf("bad read ratio")
+	}
+	if cfg.commitWindow < 0 {
+		fmt.Fprintf(stderr, "granula-serve: -commit-window must be >= 0\n")
+		return nil, fmt.Errorf("bad commit window")
 	}
 	if cfg.chaos != "" {
 		if _, err := faults.Parse(cfg.chaos); err != nil {
@@ -135,9 +152,18 @@ func run(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "granula-serve: chaos mode: %s\n", inj.Describe())
 	}
 
+	if cfg.pprofAddr != "" {
+		stop, err := servePprof(cfg.pprofAddr, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "granula-serve: pprof: %v\n", err)
+			return 1
+		}
+		defer stop()
+	}
+
 	var db *archivedb.DB
 	if cfg.dataDir != "" {
-		dbOpts := archivedb.Options{NoSync: cfg.noSync}
+		dbOpts := archivedb.Options{NoSync: cfg.noSync, GroupCommitWindow: cfg.commitWindow}
 		if inj != nil {
 			dbOpts.Injector = inj
 		}
@@ -170,6 +196,29 @@ func run(args []string, stderr io.Writer) int {
 		return runLoadTest(srv, exec, cfg, stderr)
 	}
 	return serve(srv, exec, cfg, stderr)
+}
+
+// servePprof starts the profiling listener on its own address with an
+// explicit mux — the debug endpoints are opt-in and never share the
+// public API's handler (importing net/http/pprof for its side effect
+// would register them on http.DefaultServeMux, which the API does not
+// use, but an explicit mux makes the isolation obvious). Returns the
+// listener's shutdown func.
+func servePprof(addr string, stderr io.Writer) (func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	fmt.Fprintf(stderr, "granula-serve: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	return func() { srv.Close() }, nil
 }
 
 // newHTTPServer builds the hardened http.Server: header/read timeouts
@@ -229,10 +278,12 @@ func runLoadTest(srv *service.Server, exec *service.Executor, cfg *serveConfig, 
 		base, cfg.loadtest, cfg.concurrency)
 
 	res, err := service.RunLoadTest(service.LoadTestConfig{
-		BaseURL:     base,
-		Jobs:        cfg.loadtest,
-		Concurrency: cfg.concurrency,
-		Out:         stderr,
+		BaseURL:       base,
+		Jobs:          cfg.loadtest,
+		Concurrency:   cfg.concurrency,
+		ReadRatio:     cfg.readRatio,
+		QueryVariants: cfg.queries,
+		Out:           stderr,
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()

@@ -26,6 +26,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.chaos != "" || cfg.jobTimeout != 0 {
 		t.Fatalf("defaults wrong: %+v", cfg)
 	}
+	if cfg.commitWindow != 0 || cfg.pprofAddr != "" || cfg.readRatio != 0 || cfg.queries != 16 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
 }
 
 func TestParseFlagsChaos(t *testing.T) {
@@ -68,11 +71,29 @@ func TestParseFlagsValues(t *testing.T) {
 	}
 }
 
+func TestParseFlagsHotPath(t *testing.T) {
+	var buf bytes.Buffer
+	cfg, err := parseFlags([]string{
+		"-commit-window", "2ms", "-pprof-addr", "127.0.0.1:0",
+		"-read-ratio", "0.9", "-queries", "32",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.commitWindow != 2*time.Millisecond || cfg.pprofAddr != "127.0.0.1:0" ||
+		cfg.readRatio != 0.9 || cfg.queries != 32 {
+		t.Fatalf("parsed config wrong: %+v", cfg)
+	}
+}
+
 func TestParseFlagsErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-definitely-not-a-flag"},
 		{"-workers", "notanumber"},
 		{"stray-positional"},
+		{"-read-ratio", "1"},
+		{"-read-ratio", "-0.1"},
+		{"-commit-window", "-5ms"},
 	} {
 		var buf bytes.Buffer
 		if _, err := parseFlags(args, &buf); err == nil {
@@ -132,6 +153,28 @@ func TestLoadTestChaosSmoke(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "chaos mode") {
 		t.Fatalf("chaos run did not announce its fault schedule:\n%s", buf.String())
+	}
+}
+
+// TestLoadTestMixedReadsSmoke runs the mixed read/write workload with
+// the pprof listener and a group-commit window armed — the full hot
+// read/write path end to end.
+func TestLoadTestMixedReadsSmoke(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "archives")
+	var buf bytes.Buffer
+	code := run([]string{"-loadtest", "2", "-concurrency", "4", "-workers", "2",
+		"-read-ratio", "0.8", "-queries", "8",
+		"-data-dir", dir, "-commit-window", "1ms",
+		"-pprof-addr", "127.0.0.1:0"}, &buf)
+	if code != 0 {
+		t.Fatalf("run mixed loadtest = %d, want 0\noutput:\n%s", code, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mixed workload") {
+		t.Fatalf("mixed loadtest did not announce its schedule:\n%s", out)
+	}
+	if !strings.Contains(out, "pprof on http://127.0.0.1:") {
+		t.Fatalf("pprof listener did not announce itself:\n%s", out)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 )
 
 // IndexMeta is the per-job secondary-index metadata persisted next to
@@ -84,8 +85,15 @@ type Options struct {
 	// reject absurd lengths from corrupt frame headers.
 	MaxRecordBytes int64
 	// NoBackground disables the compaction goroutine; Compact can
-	// still be called manually (deterministic tests).
+	// still be called manually (deterministic tests). The group-commit
+	// committer goroutine always runs: it is the write path.
 	NoBackground bool
+	// GroupCommitWindow is how long the committer waits for concurrent
+	// appends to join a batch before the shared write+fsync. 0 (the
+	// default) adds no latency: a batch is whatever has queued while
+	// the previous fsync ran. Larger windows trade single-writer
+	// latency (bounded by the window) for fewer, larger fsyncs.
+	GroupCommitWindow time.Duration
 	// Injector, when non-nil, receives a callback at each I/O fault
 	// point so chaos tests (and the -chaos flag) can inject errors,
 	// latency, and torn writes into the engine.
@@ -124,6 +132,13 @@ type Stats struct {
 	Compactions    uint64
 	ReclaimedBytes int64
 	Snapshots      uint64
+	// Group-commit counters: batches flushed, records across them, the
+	// largest batch seen, and shared fsyncs issued. Records/Fsyncs is
+	// the effective amortization of the durability cost.
+	GroupCommits        uint64
+	GroupCommitRecords  uint64
+	GroupCommitFsyncs   uint64
+	GroupCommitMaxBatch int
 	// Recovery facts from the last Open.
 	RecoveredRecords      int
 	RecoveredFromSnapshot int
@@ -161,6 +176,12 @@ type DB struct {
 	readMu    sync.Mutex
 	readFiles map[uint64]*os.File
 
+	// Group-commit queue (guarded by gcMu, drained by commitLoop).
+	gcMu     sync.Mutex
+	gcQueue  []*commitReq
+	gcClosed bool
+	gcKick   chan struct{}
+
 	compactKick chan struct{}
 	stopCh      chan struct{}
 	wg          sync.WaitGroup
@@ -182,6 +203,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		index:       map[string]recordLoc{},
 		segs:        map[uint64]*segState{},
 		readFiles:   map[uint64]*os.File{},
+		gcKick:      make(chan struct{}, 1),
 		compactKick: make(chan struct{}, 1),
 		stopCh:      make(chan struct{}),
 	}
@@ -189,6 +211,8 @@ func Open(dir string, opts Options) (*DB, error) {
 		db.closeFiles()
 		return nil, err
 	}
+	db.wg.Add(1)
+	go db.commitLoop()
 	if !o.NoBackground {
 		db.wg.Add(1)
 		go db.compactLoop()
@@ -367,8 +391,15 @@ func (db *DB) createSegmentLocked(n uint64) error {
 }
 
 // rotateLocked seals the active segment and starts the next one. The
-// sealed handle moves to the read cache so Gets keep working.
+// sealed handle moves to the read cache so Gets keep working. The file
+// is trimmed to the acked size first: a failed or torn append may have
+// left unacked bytes past activeSize, and sealing them in would make
+// the segment unreplayable (mid-log corruption is refused, only the
+// newest segment's tail may be truncated on recovery).
 func (db *DB) rotateLocked() error {
+	if err := db.active.Truncate(db.activeSize); err != nil {
+		return fmt.Errorf("archivedb: seal segment: %w", err)
+	}
 	if !db.opts.NoSync {
 		if err := db.active.Sync(); err != nil {
 			return fmt.Errorf("archivedb: seal segment: %w", err)
@@ -470,7 +501,9 @@ func (db *DB) afterAppendLocked() {
 
 // Put durably stores payload under id, superseding any previous record.
 // When Put returns nil the record is in the WAL (and fsynced unless
-// NoSync) — it will survive a crash.
+// NoSync) — it will survive a crash. Concurrent Puts share one buffered
+// segment write and one fsync via group commit; the record becomes
+// visible to readers only after that shared fsync returns.
 func (db *DB) Put(id string, payload []byte, meta IndexMeta) error {
 	if id == "" {
 		return fmt.Errorf("archivedb: empty record ID")
@@ -483,43 +516,33 @@ func (db *DB) Put(id string, payload []byte, meta IndexMeta) error {
 		return fmt.Errorf("archivedb: record %q is %d bytes, above the %d limit",
 			id, len(frame), db.opts.MaxRecordBytes)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	off, err := db.appendLocked(frame)
-	if err != nil {
-		return err
-	}
-	db.dropLocked(id)
-	db.setLocked(id, recordLoc{seg: db.activeSeg, off: off, size: int64(len(frame)), meta: meta})
-	db.afterAppendLocked()
-	return nil
+	return db.appendShared(frame, func(seg uint64, off int64) {
+		db.dropLocked(id)
+		db.setLocked(id, recordLoc{seg: seg, off: off, size: int64(len(frame)), meta: meta})
+	})
 }
 
 // Delete removes id. Deleting an absent id is a no-op; otherwise a
 // tombstone record is appended and the job disappears from the index
 // (compaction later reclaims both the record and the tombstone).
 func (db *DB) Delete(id string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
+	db.mu.RLock()
+	closed := db.closed
+	_, present := db.index[id]
+	db.mu.RUnlock()
+	if closed {
 		return ErrClosed
 	}
-	if _, ok := db.index[id]; !ok {
+	if !present {
 		return nil
 	}
 	frame, err := encodeFrame(envelope{Op: opDelete, ID: id}, nil)
 	if err != nil {
 		return err
 	}
-	if _, err := db.appendLocked(frame); err != nil {
-		return err
-	}
-	db.dropLocked(id)
-	db.afterAppendLocked()
-	return nil
+	return db.appendShared(frame, func(uint64, int64) {
+		db.dropLocked(id)
+	})
 }
 
 // Get returns the payload stored under id. The read re-verifies the
@@ -617,16 +640,7 @@ func (db *DB) Probe() error {
 	if err != nil {
 		return err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	if _, err := db.appendLocked(frame); err != nil {
-		return err
-	}
-	db.afterAppendLocked()
-	return nil
+	return db.appendShared(frame, nil)
 }
 
 // Snapshot forces an index snapshot now.

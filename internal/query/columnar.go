@@ -1,0 +1,375 @@
+package query
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/archive"
+)
+
+// Columns is the columnar projection of one job's operation tree: the
+// tree flattened into typed parallel arrays in depth-first order, with
+// mission, actor, and ID strings interned into a symbol table. It is
+// built once when a job enters the store and treated as immutable, so
+// repeated queries evaluate predicates against typed columns — an
+// integer compare or a precomputed per-symbol bitmap per row — instead
+// of converting fields to strings per operation the way the tree walker
+// does. The tree walker (Query.Select) remains the oracle:
+// Query.SelectColumns returns exactly the same operations in the same
+// order.
+type Columns struct {
+	ops     []*archive.Operation
+	depth   []int32
+	start   []float64
+	end     []float64
+	dur     []float64
+	mission []uint32
+	actor   []uint32
+	id      []uint32
+	syms    symtab
+}
+
+// symtab interns strings to dense IDs. Alongside each symbol it keeps
+// the numeric interpretation compareValues would give it (value and
+// whether it parses as a finite float), so compiled predicates and sort
+// keys never re-parse a symbol.
+type symtab struct {
+	ids    map[string]uint32
+	strs   []string
+	floats []float64
+	finite []bool
+}
+
+func (st *symtab) intern(s string) uint32 {
+	if id, ok := st.ids[s]; ok {
+		return id
+	}
+	id := uint32(len(st.strs))
+	st.ids[s] = id
+	st.strs = append(st.strs, s)
+	f, err := strconv.ParseFloat(s, 64)
+	ok := err == nil && isFinite(f)
+	st.floats = append(st.floats, f)
+	st.finite = append(st.finite, ok)
+	return id
+}
+
+// BuildColumns flattens job's operation tree into columns. A nil or
+// empty job yields zero rows.
+func BuildColumns(job *archive.Job) *Columns {
+	c := &Columns{syms: symtab{ids: map[string]uint32{}}}
+	if job == nil || job.Root == nil {
+		return c
+	}
+	var walk func(op *archive.Operation, d int32)
+	walk = func(op *archive.Operation, d int32) {
+		c.ops = append(c.ops, op)
+		c.depth = append(c.depth, d)
+		c.start = append(c.start, op.Start)
+		c.end = append(c.end, op.End)
+		c.dur = append(c.dur, op.Duration())
+		c.mission = append(c.mission, c.syms.intern(op.Mission))
+		c.actor = append(c.actor, c.syms.intern(op.Actor))
+		c.id = append(c.id, c.syms.intern(op.ID))
+		for _, ch := range op.Children {
+			walk(ch, d+1)
+		}
+	}
+	walk(job.Root, 0)
+	return c
+}
+
+// Rows returns the number of operations in the columns.
+func (c *Columns) Rows() int { return len(c.ops) }
+
+// SelectColumns runs the query against the columnar projection and
+// returns exactly what Select(job) would return for the job the columns
+// were built from: the same operations, in the same order. The
+// predicate tree is compiled once per call into row evaluators (cheap —
+// a bitmap over the symbol table per string predicate), after which
+// evaluation does no per-row string conversion on the built-in fields.
+func (q *Query) SelectColumns(c *Columns) []*archive.Operation {
+	if c == nil || len(c.ops) == 0 {
+		return nil
+	}
+	var ev rowEval
+	if q.where != nil {
+		ev = compileExpr(q.where, c)
+	}
+	var out []*archive.Operation
+	var rows []int32
+	needRows := q.orderBy != ""
+	for r := range c.ops {
+		if ev == nil || ev(r) {
+			out = append(out, c.ops[r])
+			if needRows {
+				rows = append(rows, int32(r))
+			}
+		}
+	}
+	if q.orderBy != "" && len(out) > 1 {
+		q.sortByColumns(c, out, rows)
+	}
+	if q.limit >= 0 && len(out) > q.limit {
+		out = out[:q.limit]
+	}
+	return out
+}
+
+// sortKey is one selected row's precomputed order-by key: the string
+// form fieldValue would produce plus its numeric interpretation, so the
+// comparator applies compareValues semantics (numeric when both sides
+// are finite, lexical otherwise) without re-converting per comparison.
+type sortKey struct {
+	str string
+	num float64
+	ok  bool
+}
+
+func makeSortKey(c *Columns, row int32, field string) sortKey {
+	// fieldValue is the oracle for the string form (including "" for an
+	// absent info key, which the tree path sorts on as well).
+	s, _ := fieldValue(c.ops[row], int(c.depth[row]), field)
+	f, err := strconv.ParseFloat(s, 64)
+	return sortKey{str: s, num: f, ok: err == nil && isFinite(f)}
+}
+
+func (q *Query) sortByColumns(c *Columns, out []*archive.Operation, rows []int32) {
+	type pair struct {
+		op  *archive.Operation
+		key sortKey
+	}
+	pairs := make([]pair, len(out))
+	for i := range out {
+		pairs[i] = pair{op: out[i], key: makeSortKey(c, rows[i], q.orderBy)}
+	}
+	cmp := func(a, b sortKey) int {
+		if a.ok && b.ok {
+			switch {
+			case a.num < b.num:
+				return -1
+			case a.num > b.num:
+				return 1
+			default:
+				return 0
+			}
+		}
+		return strings.Compare(a.str, b.str)
+	}
+	// The tree path's desc branch is `!less && compare != 0`, i.e.
+	// compare > 0; stable sort preserves depth-first order on ties in
+	// both directions, exactly like the oracle.
+	if q.desc {
+		sort.SliceStable(pairs, func(i, j int) bool { return cmp(pairs[i].key, pairs[j].key) > 0 })
+	} else {
+		sort.SliceStable(pairs, func(i, j int) bool { return cmp(pairs[i].key, pairs[j].key) < 0 })
+	}
+	for i := range pairs {
+		out[i] = pairs[i].op
+	}
+}
+
+// rowEval is a compiled predicate over one columns row.
+type rowEval func(row int) bool
+
+func compileExpr(e expr, c *Columns) rowEval {
+	switch t := e.(type) {
+	case orExpr:
+		a, b := compileExpr(t.a, c), compileExpr(t.b, c)
+		return func(r int) bool { return a(r) || b(r) }
+	case andExpr:
+		a, b := compileExpr(t.a, c), compileExpr(t.b, c)
+		return func(r int) bool { return a(r) && b(r) }
+	case notExpr:
+		a := compileExpr(t.a, c)
+		return func(r int) bool { return !a(r) }
+	case predicate:
+		return compilePredicate(t, c)
+	}
+	// Unreachable: the parser produces only the four expr kinds above.
+	return func(r int) bool { return false }
+}
+
+func compilePredicate(pr predicate, c *Columns) rowEval {
+	switch strings.ToLower(pr.field) {
+	case "mission":
+		return compileSymbolPredicate(pr, c, c.mission)
+	case "actor":
+		return compileSymbolPredicate(pr, c, c.actor)
+	case "id":
+		return compileSymbolPredicate(pr, c, c.id)
+	case "depth":
+		return compileDepthPredicate(pr, c)
+	case "duration":
+		return compileNumericPredicate(pr, c.dur)
+	case "start":
+		return compileNumericPredicate(pr, c.start)
+	case "end":
+		return compileNumericPredicate(pr, c.end)
+	}
+	// info./derived. fields need a per-row map lookup either way, but
+	// the prefix is stripped at compile time (fieldValue re-lowercases
+	// the field name per call, which allocates). The prefix match is
+	// case-sensitive exactly like fieldValue's.
+	if key, ok := strings.CutPrefix(pr.field, "info."); ok {
+		op, value := pr.op, pr.value
+		return func(r int) bool {
+			v, present := c.ops[r].Infos[key]
+			return present && evalStringPredicate(v, op, value)
+		}
+	}
+	if key, ok := strings.CutPrefix(pr.field, "derived."); ok {
+		op, value := pr.op, pr.value
+		return func(r int) bool {
+			v, present := c.ops[r].Derived[key]
+			return present && evalStringPredicate(v, op, value)
+		}
+	}
+	// Unreachable for parsed queries (validateField admits only the
+	// fields above, and a case-mismatched prefix like "Info.X" fails
+	// both CutPrefixes on the tree path too); defer to the oracle.
+	return func(r int) bool { return pr.eval(c.ops[r], int(c.depth[r])) }
+}
+
+// evalStringPredicate applies pr's operator to one candidate string,
+// with exactly the semantics of predicate.eval over fieldValue output.
+func evalStringPredicate(actual, op, value string) bool {
+	switch op {
+	case "~":
+		return strings.Contains(actual, value)
+	case "=":
+		return compareValues(actual, value) == 0
+	case "!=":
+		return compareValues(actual, value) != 0
+	case ">":
+		return compareValues(actual, value) > 0
+	case ">=":
+		return compareValues(actual, value) >= 0
+	case "<":
+		return compareValues(actual, value) < 0
+	case "<=":
+		return compareValues(actual, value) <= 0
+	}
+	return false
+}
+
+// compileSymbolPredicate evaluates pr once per distinct symbol into a
+// bitmap; row evaluation is then a single indexed load. Exact by
+// construction: every row with symbol s has fieldValue == syms.strs[s],
+// and the symtab's precomputed (float, finite) mirrors what
+// compareValues would decide per comparison — without re-parsing.
+func compileSymbolPredicate(pr predicate, c *Columns, col []uint32) rowEval {
+	st := &c.syms
+	match := make([]bool, len(st.strs))
+	if pr.op == "~" {
+		for s, str := range st.strs {
+			match[s] = strings.Contains(str, pr.value)
+		}
+		return func(r int) bool { return match[col[r]] }
+	}
+	vf, err := strconv.ParseFloat(pr.value, 64)
+	vOK := err == nil && isFinite(vf)
+	for s, str := range st.strs {
+		var cmp int
+		if vOK && st.finite[s] {
+			switch {
+			case st.floats[s] < vf:
+				cmp = -1
+			case st.floats[s] > vf:
+				cmp = 1
+			}
+		} else {
+			cmp = strings.Compare(str, pr.value)
+		}
+		match[s] = opHolds(pr.op, cmp)
+	}
+	return func(r int) bool { return match[col[r]] }
+}
+
+// opHolds applies a comparison operator to a compareValues result.
+func opHolds(op string, cmp int) bool {
+	switch op {
+	case "=":
+		return cmp == 0
+	case "!=":
+		return cmp != 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	}
+	return false
+}
+
+// compileDepthPredicate evaluates pr once per distinct depth (depths
+// are dense 0..max) into a bitmap.
+func compileDepthPredicate(pr predicate, c *Columns) rowEval {
+	max := int32(0)
+	for _, d := range c.depth {
+		if d > max {
+			max = d
+		}
+	}
+	match := make([]bool, max+1)
+	for d := range match {
+		match[d] = evalStringPredicate(strconv.Itoa(d), pr.op, pr.value)
+	}
+	return func(r int) bool { return match[c.depth[r]] }
+}
+
+// compileNumericPredicate compiles pr against a float64 column. The hot
+// path — finite column value, finite constant — is a float compare with
+// no conversion. Non-finite values and non-numeric constants fall back
+// to comparing the exact string form fieldValue would produce, which is
+// what compareValues does on the tree path.
+func compileNumericPredicate(pr predicate, col []float64) rowEval {
+	value := pr.value
+	if pr.op == "~" {
+		// Substring match over the decimal form; rare, so the per-row
+		// format cost is acceptable.
+		return func(r int) bool {
+			return strings.Contains(formatNumField(col[r]), value)
+		}
+	}
+	vf, err := strconv.ParseFloat(value, 64)
+	vOK := err == nil && isFinite(vf)
+	cmp := func(v float64) int {
+		if vOK && isFinite(v) {
+			switch {
+			case v < vf:
+				return -1
+			case v > vf:
+				return 1
+			default:
+				return 0
+			}
+		}
+		return strings.Compare(formatNumField(v), value)
+	}
+	switch pr.op {
+	case "=":
+		return func(r int) bool { return cmp(col[r]) == 0 }
+	case "!=":
+		return func(r int) bool { return cmp(col[r]) != 0 }
+	case ">":
+		return func(r int) bool { return cmp(col[r]) > 0 }
+	case ">=":
+		return func(r int) bool { return cmp(col[r]) >= 0 }
+	case "<":
+		return func(r int) bool { return cmp(col[r]) < 0 }
+	case "<=":
+		return func(r int) bool { return cmp(col[r]) <= 0 }
+	}
+	return func(r int) bool { return false }
+}
+
+// formatNumField is the exact string form fieldValue produces for the
+// numeric built-in fields.
+func formatNumField(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

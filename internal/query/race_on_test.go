@@ -1,0 +1,8 @@
+//go:build race
+
+package query
+
+// raceEnabled reports that this binary was built with -race; allocation
+// gates skip themselves because the race runtime adds bookkeeping
+// allocations the gate would misattribute to the hot path.
+const raceEnabled = true

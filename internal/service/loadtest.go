@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"sort"
 	"sync"
 	"time"
@@ -22,6 +24,20 @@ type LoadTestConfig struct {
 	// Vertices/Edges size each job's graph; 0 selects 2000/10000.
 	Vertices int64
 	Edges    int64
+	// ReadRatio in (0,1) switches to the mixed read/write workload: the
+	// configured Jobs are still all submitted, and read requests are
+	// interleaved so reads make up this fraction of operations — e.g.
+	// 0.9 issues nine reads per submission, the archive-consumer shape
+	// the response cache is built for. 0 keeps the legacy flow (each
+	// job followed by one fixed read sweep).
+	ReadRatio float64
+	// QueryVariants is the number of distinct query strings the mixed
+	// workload draws from (Zipf-distributed, so a few queries dominate
+	// the way real dashboards do); 0 selects 16.
+	QueryVariants int
+	// Seed makes the mixed workload's operation shuffle and query draws
+	// reproducible; 0 selects 1.
+	Seed int64
 	// Out receives progress lines; nil discards them.
 	Out io.Writer
 }
@@ -31,12 +47,14 @@ type LoadTestResult struct {
 	Jobs       int
 	Done       int
 	Failed     int
+	Reads      int
 	Requests   int
 	Wall       time.Duration
 	JobsPerSec float64
 	ReqPerSec  float64
 	P50        time.Duration
 	P95        time.Duration
+	P99        time.Duration
 	Max        time.Duration
 }
 
@@ -50,6 +68,24 @@ type loadClient struct {
 	requests  int
 	done      int
 	failed    int
+	reads     int
+	doneIDs   []string // completed job IDs, the targets of mixed reads
+}
+
+func (lc *loadClient) jobDone(id string) {
+	lc.mu.Lock()
+	lc.done++
+	lc.doneIDs = append(lc.doneIDs, id)
+	lc.mu.Unlock()
+}
+
+func (lc *loadClient) pickDoneID(rng *rand.Rand) string {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if len(lc.doneIDs) == 0 {
+		return ""
+	}
+	return lc.doneIDs[rng.Intn(len(lc.doneIDs))]
 }
 
 func (lc *loadClient) record(d time.Duration) {
@@ -86,10 +122,9 @@ func (lc *loadClient) do(method, path string, body any) (*http.Response, []byte,
 	return resp, payload, nil
 }
 
-// runJob submits one job, polls it to completion, then exercises the
-// read endpoints (status, archive, indexed query, language query, viz,
-// metrics) the way an interactive archive consumer would.
-func (lc *loadClient) runJob(i int) error {
+// submitJob submits one job and polls it to completion, returning its
+// ID.
+func (lc *loadClient) submitJob(i int) (string, error) {
 	platform := []string{"Giraph", "PowerGraph", "OpenG"}[i%3]
 	algorithm := []string{"BFS", "PageRank", "WCC"}[i%3]
 	req := JobRequest{
@@ -102,18 +137,18 @@ func (lc *loadClient) runJob(i int) error {
 	for {
 		resp, payload, err := lc.do("POST", "/jobs", req)
 		if err != nil {
-			return err
+			return "", err
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			time.Sleep(50 * time.Millisecond) // bounded queue pushed back
 			continue
 		}
 		if resp.StatusCode != http.StatusAccepted {
-			return fmt.Errorf("submit: %s: %s", resp.Status, payload)
+			return "", fmt.Errorf("submit: %s: %s", resp.Status, payload)
 		}
 		var sub submitResponse
 		if err := json.Unmarshal(payload, &sub); err != nil {
-			return err
+			return "", err
 		}
 		id = sub.ID
 		break
@@ -122,22 +157,32 @@ func (lc *loadClient) runJob(i int) error {
 	for {
 		resp, payload, err := lc.do("GET", "/jobs/"+id, nil)
 		if err != nil {
-			return err
+			return "", err
 		}
 		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("status %s: %s: %s", id, resp.Status, payload)
+			return "", fmt.Errorf("status %s: %s: %s", id, resp.Status, payload)
 		}
 		var st JobState
 		if err := json.Unmarshal(payload, &st); err != nil {
-			return err
+			return "", err
 		}
 		if st.Status == StatusFailed {
-			return fmt.Errorf("job %s failed: %s", id, st.Error)
+			return "", fmt.Errorf("job %s failed: %s", id, st.Error)
 		}
 		if st.Status == StatusDone {
-			break
+			return id, nil
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// runJob submits one job, polls it to completion, then exercises the
+// read endpoints (status, archive, indexed query, language query, viz,
+// metrics) the way an interactive archive consumer would.
+func (lc *loadClient) runJob(i int) error {
+	id, err := lc.submitJob(i)
+	if err != nil {
+		return err
 	}
 
 	reads := []string{
@@ -162,9 +207,52 @@ func (lc *loadClient) runJob(i int) error {
 	return nil
 }
 
+// queryVariant builds the i-th distinct query-language string of the
+// mixed workload. The variants cover the evaluator's dimensions
+// (string, numeric, depth, info predicates; sorts; limits) while each
+// staying byte-stable, so Zipf repeats of a variant hit both the
+// compiled-query cache and the response cache.
+func queryVariant(i int) string {
+	switch i % 4 {
+	case 0:
+		return fmt.Sprintf("duration > 0.%03d order by duration desc limit %d", (i*37)%1000, 5+i%20)
+	case 1:
+		return fmt.Sprintf("actor ~ \"Worker\" and depth >= %d limit %d", i%5, 10+i%50)
+	case 2:
+		return fmt.Sprintf("mission = \"Superstep\" and start > 0.%02d order by start", i%100)
+	default:
+		return fmt.Sprintf("depth = %d or duration >= 0.%02d", i%6, (i*13)%100)
+	}
+}
+
+// readOnce issues one mixed-workload read: a query-language request
+// against a random completed job, with the query drawn Zipf-style from
+// the variant pool.
+func (lc *loadClient) readOnce(rng *rand.Rand, zipf *rand.Zipf, variants int) error {
+	id := lc.pickDoneID(rng)
+	if id == "" {
+		return fmt.Errorf("no completed job to read")
+	}
+	q := queryVariant(int(zipf.Uint64()) % variants)
+	path := "/jobs/" + id + "/query?q=" + url.QueryEscape(q)
+	resp, payload, err := lc.do("GET", path, nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, payload)
+	}
+	lc.mu.Lock()
+	lc.reads++
+	lc.mu.Unlock()
+	return nil
+}
+
 // RunLoadTest hammers a running granula-serve instance with concurrent
 // jobs and archive reads, and reports client-observed throughput and
-// latency. It is the -loadtest mode of cmd/granula-serve.
+// latency. It is the -loadtest mode of cmd/granula-serve. With
+// ReadRatio set the operation mix is mostly reads (see LoadTestConfig);
+// otherwise every job performs one fixed read sweep after completion.
 func RunLoadTest(cfg LoadTestConfig) (*LoadTestResult, error) {
 	if cfg.Jobs < 1 {
 		cfg.Jobs = 1
@@ -172,40 +260,107 @@ func RunLoadTest(cfg LoadTestConfig) (*LoadTestResult, error) {
 	if cfg.Concurrency < 1 {
 		cfg.Concurrency = 8
 	}
+	if cfg.QueryVariants < 1 {
+		cfg.QueryVariants = 16
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.ReadRatio < 0 || cfg.ReadRatio >= 1 {
+		return nil, fmt.Errorf("service: loadtest read ratio %v outside [0,1)", cfg.ReadRatio)
+	}
 	if cfg.Out == nil {
 		cfg.Out = io.Discard
 	}
 	lc := &loadClient{cfg: cfg, client: &http.Client{Timeout: 60 * time.Second}}
 
-	jobs := make(chan int)
+	// The operation schedule: every job submission, plus — in mixed mode
+	// — enough reads that they make up ReadRatio of all operations,
+	// shuffled deterministically. op >= 0 is a submission of job op; -1
+	// is a read.
+	ops := make([]int, 0, cfg.Jobs)
+	// In mixed mode job 0 is submitted synchronously before the
+	// schedule starts, so early reads always have a completed target.
+	firstScheduled := 0
+	if cfg.ReadRatio > 0 {
+		firstScheduled = 1
+	}
+	for i := firstScheduled; i < cfg.Jobs; i++ {
+		ops = append(ops, i)
+	}
+	if cfg.ReadRatio > 0 {
+		nReads := int(float64(cfg.Jobs)*cfg.ReadRatio/(1-cfg.ReadRatio) + 0.5)
+		for i := 0; i < nReads; i++ {
+			ops = append(ops, -1)
+		}
+		rand.New(rand.NewSource(cfg.Seed)).Shuffle(len(ops), func(i, j int) {
+			ops[i], ops[j] = ops[j], ops[i]
+		})
+		fmt.Fprintf(cfg.Out, "[loadtest] mixed workload: %d submissions, %d reads (ratio %.2f), %d query variants\n",
+			cfg.Jobs, nReads, cfg.ReadRatio, cfg.QueryVariants)
+	}
+
+	work := make(chan int)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range jobs {
-				if err := lc.runJob(i); err != nil {
-					fmt.Fprintf(cfg.Out, "[loadtest] job %d: %v\n", i, err)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w) + 1))
+			zipf := rand.NewZipf(rng, 1.3, 1, uint64(cfg.QueryVariants-1))
+			for op := range work {
+				switch {
+				case op < 0:
+					if err := lc.readOnce(rng, zipf, cfg.QueryVariants); err != nil {
+						fmt.Fprintf(cfg.Out, "[loadtest] read: %v\n", err)
+						lc.mu.Lock()
+						lc.failed++
+						lc.mu.Unlock()
+					}
+				case cfg.ReadRatio > 0:
+					id, err := lc.submitJob(op)
+					if err != nil {
+						fmt.Fprintf(cfg.Out, "[loadtest] job %d: %v\n", op, err)
+						lc.mu.Lock()
+						lc.failed++
+						lc.mu.Unlock()
+						continue
+					}
+					lc.jobDone(id)
+				default:
+					if err := lc.runJob(op); err != nil {
+						fmt.Fprintf(cfg.Out, "[loadtest] job %d: %v\n", op, err)
+						lc.mu.Lock()
+						lc.failed++
+						lc.mu.Unlock()
+						continue
+					}
+					lc.jobDone("")
 					lc.mu.Lock()
-					lc.failed++
+					n := lc.done
 					lc.mu.Unlock()
-					continue
-				}
-				lc.mu.Lock()
-				lc.done++
-				n := lc.done
-				lc.mu.Unlock()
-				if n%10 == 0 {
-					fmt.Fprintf(cfg.Out, "[loadtest] %d/%d jobs done\n", n, cfg.Jobs)
+					if n%10 == 0 {
+						fmt.Fprintf(cfg.Out, "[loadtest] %d/%d jobs done\n", n, cfg.Jobs)
+					}
 				}
 			}
-		}()
+		}(w)
 	}
-	for i := 0; i < cfg.Jobs; i++ {
-		jobs <- i
+	if cfg.ReadRatio > 0 {
+		if id, err := lc.submitJob(0); err == nil {
+			lc.jobDone(id)
+		} else {
+			fmt.Fprintf(cfg.Out, "[loadtest] seed job: %v\n", err)
+			lc.mu.Lock()
+			lc.failed++
+			lc.mu.Unlock()
+		}
 	}
-	close(jobs)
+	for _, op := range ops {
+		work <- op
+	}
+	close(work)
 	wg.Wait()
 	wall := time.Since(start)
 
@@ -216,6 +371,7 @@ func RunLoadTest(cfg LoadTestConfig) (*LoadTestResult, error) {
 		Jobs:     cfg.Jobs,
 		Done:     lc.done,
 		Failed:   lc.failed,
+		Reads:    lc.reads,
 		Requests: lc.requests,
 		Wall:     wall,
 	}
@@ -226,6 +382,7 @@ func RunLoadTest(cfg LoadTestConfig) (*LoadTestResult, error) {
 	if n := len(lc.latencies); n > 0 {
 		res.P50 = lc.latencies[n/2]
 		res.P95 = lc.latencies[n*95/100]
+		res.P99 = lc.latencies[n*99/100]
 		res.Max = lc.latencies[n-1]
 	}
 	return res, nil
@@ -233,9 +390,13 @@ func RunLoadTest(cfg LoadTestConfig) (*LoadTestResult, error) {
 
 // Render formats the result for terminals.
 func (r *LoadTestResult) Render() string {
-	return fmt.Sprintf(
-		"loadtest: %d jobs (%d done, %d failed) in %.2fs — %.1f jobs/s, %.1f req/s over %d requests\n"+
-			"request latency: p50 %s  p95 %s  max %s\n",
-		r.Jobs, r.Done, r.Failed, r.Wall.Seconds(), r.JobsPerSec, r.ReqPerSec, r.Requests,
-		r.P50, r.P95, r.Max)
+	out := fmt.Sprintf(
+		"loadtest: %d jobs (%d done, %d failed) in %.2fs — %.1f jobs/s, %.1f req/s over %d requests\n",
+		r.Jobs, r.Done, r.Failed, r.Wall.Seconds(), r.JobsPerSec, r.ReqPerSec, r.Requests)
+	if r.Reads > 0 {
+		out += fmt.Sprintf("reads: %d query requests\n", r.Reads)
+	}
+	out += fmt.Sprintf("request latency: p50 %s  p95 %s  p99 %s  max %s\n",
+		r.P50, r.P95, r.P99, r.Max)
+	return out
 }

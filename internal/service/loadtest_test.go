@@ -1,0 +1,52 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+)
+
+// TestQueryVariantsParse guards the mixed workload against submitting
+// malformed queries: every variant the Zipf draw can select must
+// compile.
+func TestQueryVariantsParse(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		q := queryVariant(i)
+		if _, err := query.Parse(q); err != nil {
+			t.Fatalf("variant %d %q does not parse: %v", i, q, err)
+		}
+	}
+	// Variants must actually be distinct, or the Zipf skew is meaningless.
+	seen := map[string]bool{}
+	for i := 0; i < 16; i++ {
+		seen[queryVariant(i)] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("only %d distinct variants in the first 16", len(seen))
+	}
+}
+
+func TestLoadTestResultRender(t *testing.T) {
+	r := &LoadTestResult{
+		Jobs: 4, Done: 4, Reads: 36, Requests: 60,
+		Wall: 2 * time.Second, JobsPerSec: 2, ReqPerSec: 30,
+		P50: time.Millisecond, P95: 2 * time.Millisecond,
+		P99: 3 * time.Millisecond, Max: 4 * time.Millisecond,
+	}
+	out := r.Render()
+	for _, want := range []string{"reads: 36", "p99 3ms", "p50 1ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadTestRejectsBadReadRatio(t *testing.T) {
+	for _, ratio := range []float64{-0.5, 1, 1.5} {
+		if _, err := RunLoadTest(LoadTestConfig{Jobs: 1, ReadRatio: ratio}); err == nil {
+			t.Fatalf("RunLoadTest accepted read ratio %v", ratio)
+		}
+	}
+}

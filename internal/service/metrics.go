@@ -208,12 +208,22 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// CacheStats bundles the read-path cache counters sampled at scrape
+// time: the compiled-query LRU and the HTTP response cache.
+type CacheStats struct {
+	QueryHits   uint64
+	QueryMisses uint64
+	QuerySize   int
+	Resp        RespCacheStats
+}
+
 // WritePrometheus renders the registry in Prometheus text exposition
 // format. queueDepth, storeJobs, and breaker are gauges sampled by the
 // caller at scrape time; storage is the archivedb engine's counters,
 // nil when the store runs without durability (the storage family is
-// then omitted entirely).
-func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, storeJobs int, storage *archivedb.Stats, breaker BreakerState) {
+// then omitted entirely); caches is the read-path cache counters, nil
+// when both caches are disabled.
+func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, storeJobs int, storage *archivedb.Stats, breaker BreakerState, caches *CacheStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -271,15 +281,29 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, storeJobs int, storag
 	fmt.Fprintln(w, "# TYPE granula_shed_total counter")
 	fmt.Fprintf(w, "granula_shed_total %d\n", m.shed)
 
-	if storage == nil {
-		return
-	}
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
+	if caches != nil {
+		counter("granula_querycache_hits_total", "Compiled-query cache hits.", caches.QueryHits)
+		counter("granula_querycache_misses_total", "Compiled-query cache misses (full parses).", caches.QueryMisses)
+		gauge("granula_querycache_entries", "Compiled queries held in the cache.", int64(caches.QuerySize))
+		counter("granula_respcache_hits_total", "HTTP response cache hits.", caches.Resp.Hits)
+		counter("granula_respcache_misses_total", "HTTP response cache misses (handler renders).", caches.Resp.Misses)
+		counter("granula_respcache_not_modified_total", "Conditional requests answered 304 Not Modified.", caches.Resp.NotModified)
+		counter("granula_respcache_evictions_total", "Responses evicted by LRU pressure.", caches.Resp.Evictions)
+		gauge("granula_respcache_entries", "Responses held in the cache.", int64(caches.Resp.Size))
+	}
+	if storage == nil {
+		return
+	}
+	counter("granula_groupcommit_batches_total", "WAL group-commit batches flushed.", storage.GroupCommits)
+	counter("granula_groupcommit_records_total", "Records appended through group commit.", storage.GroupCommitRecords)
+	counter("granula_groupcommit_fsyncs_total", "Shared fsyncs issued by the committer.", storage.GroupCommitFsyncs)
+	gauge("granula_groupcommit_max_batch", "Largest batch flushed in one group commit.", int64(storage.GroupCommitMaxBatch))
 	gauge("granula_storage_segments", "WAL segment files on disk.", int64(storage.Segments))
 	gauge("granula_storage_live_jobs", "Live records in the storage engine.", int64(storage.LiveJobs))
 	gauge("granula_storage_live_bytes", "WAL bytes referenced by live records.", storage.LiveBytes)

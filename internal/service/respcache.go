@@ -1,0 +1,246 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"sync"
+)
+
+// RespCache is a bounded LRU of rendered HTTP responses for the
+// read-only archive endpoints (/archive, /query, /viz). Entries are
+// keyed on (store generation, request), where the generation is read
+// before the handler touches any data: every acked write bumps the
+// generation inside the store's publish critical section, so a response
+// rendered concurrently with a write can only ever be filed under the
+// old generation — which no reader that observed the write's ack will
+// present. Invalidation is therefore O(1) (stale entries age out of the
+// LRU) and a hit returns bytes identical to what the handler would
+// render.
+//
+// Every 200 response carries a strong content-hash ETag. Because the
+// tag hashes the body rather than the generation, a client revalidating
+// with If-None-Match still gets 304 across writes that did not change
+// the bytes it holds.
+type RespCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[respKey]*respEntry
+	// Intrusive LRU list: head is most recent, tail is next to evict.
+	head, tail *respEntry
+
+	hits        uint64
+	misses      uint64
+	notModified uint64
+	evictions   uint64
+}
+
+type respKey struct {
+	gen uint64
+	req string // METHOD path?rawquery
+}
+
+type respEntry struct {
+	key         respKey
+	contentType string
+	etag        string
+	body        []byte
+	prev, next  *respEntry
+}
+
+// NewRespCache returns a response cache holding at most capacity
+// responses; capacity < 1 selects 512.
+func NewRespCache(capacity int) *RespCache {
+	if capacity < 1 {
+		capacity = 512
+	}
+	return &RespCache{cap: capacity, entries: make(map[respKey]*respEntry)}
+}
+
+// RespCacheStats is a point-in-time snapshot of the cache counters.
+type RespCacheStats struct {
+	Hits        uint64
+	Misses      uint64
+	NotModified uint64
+	Evictions   uint64
+	Size        int
+}
+
+// Stats returns the lifetime counters and current size.
+func (c *RespCache) Stats() RespCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return RespCacheStats{
+		Hits: c.hits, Misses: c.misses, NotModified: c.notModified,
+		Evictions: c.evictions, Size: len(c.entries),
+	}
+}
+
+func (c *RespCache) get(gen uint64, req string) *respEntry {
+	k := respKey{gen: gen, req: req}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e
+}
+
+func (c *RespCache) put(gen uint64, req, contentType, etag string, body []byte) {
+	k := respKey{gen: gen, req: req}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		// A concurrent miss on the same key rendered the same bytes
+		// (same generation, deterministic handlers); keep the first.
+		c.moveToFront(e)
+		return
+	}
+	e := &respEntry{key: k, contentType: contentType, etag: etag, body: body}
+	c.entries[k] = e
+	c.pushFront(e)
+	if len(c.entries) > c.cap {
+		c.evictTail()
+	}
+}
+
+func (c *RespCache) countNotModified() {
+	c.mu.Lock()
+	c.notModified++
+	c.mu.Unlock()
+}
+
+func (c *RespCache) pushFront(e *respEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *RespCache) moveToFront(e *respEntry) {
+	if c.head == e {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	c.pushFront(e)
+}
+
+func (c *RespCache) evictTail() {
+	e := c.tail
+	if e == nil {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = nil
+	}
+	c.tail = e.prev
+	if c.head == e {
+		c.head = nil
+	}
+	delete(c.entries, e.key)
+	c.evictions++
+}
+
+// etagFor is the strong content-hash validator: quoted first 16 bytes
+// of the body's SHA-256 in hex.
+func etagFor(body []byte) string {
+	sum := sha256.Sum256(body)
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// bodyRecorder captures a handler's response so the cache middleware
+// can hash, store, and replay it. Only the status and body are kept;
+// Content-Type is read back from the shared header map.
+type bodyRecorder struct {
+	header http.Header
+	status int
+	body   []byte
+}
+
+func newBodyRecorder() *bodyRecorder {
+	return &bodyRecorder{header: http.Header{}, status: http.StatusOK}
+}
+
+func (r *bodyRecorder) Header() http.Header { return r.header }
+
+func (r *bodyRecorder) WriteHeader(code int) {
+	if r.status == http.StatusOK {
+		r.status = code
+	}
+}
+
+func (r *bodyRecorder) Write(p []byte) (int, error) {
+	r.body = append(r.body, p...)
+	return len(p), nil
+}
+
+// cached wraps a read-only GET handler with the response cache. The
+// store generation is read before the handler (or the cache) is
+// consulted — see the RespCache doc comment for why that ordering makes
+// a write invalidate every stale body. When the cache is disabled the
+// handler runs bare, byte-identical by construction (this is what the
+// equivalence tests pin).
+func (s *Server) cached(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.resp == nil {
+			h(w, r)
+			return
+		}
+		gen := s.store.Generation()
+		req := r.Method + " " + r.URL.Path + "?" + r.URL.RawQuery
+
+		serve := func(contentType, etag string, body []byte) {
+			if etag == r.Header.Get("If-None-Match") && etag != "" {
+				// The client already holds these exact bytes; the tag is
+				// a content hash, so this holds across generations too.
+				s.resp.countNotModified()
+				w.Header().Set("ETag", etag)
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			if contentType != "" {
+				w.Header().Set("Content-Type", contentType)
+			}
+			w.Header().Set("ETag", etag)
+			w.Write(body)
+		}
+
+		if e := s.resp.get(gen, req); e != nil {
+			serve(e.contentType, e.etag, e.body)
+			return
+		}
+		rec := newBodyRecorder()
+		h(rec, r)
+		if rec.status != http.StatusOK {
+			// Errors are cheap to recompute and must not occupy slots;
+			// replay them verbatim without a validator.
+			for k, vs := range rec.header {
+				w.Header()[k] = vs
+			}
+			w.WriteHeader(rec.status)
+			w.Write(rec.body)
+			return
+		}
+		contentType := rec.header.Get("Content-Type")
+		etag := etagFor(rec.body)
+		s.resp.put(gen, req, contentType, etag, rec.body)
+		serve(contentType, etag, rec.body)
+	}
+}

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/archivedb"
+	"repro/internal/query"
+)
+
+// TestEmitServeBenchJSON measures the three hot paths this layer
+// optimizes — repeated query serving (compiled-query cache + columnar
+// evaluation vs parse + tree walk), columnar vs tree Select, and
+// group-commit append throughput at 1 vs 8 writers — and writes the
+// numbers as JSON when BENCH_SERVE_OUT names a path. CI uploads the
+// file as the BENCH_serve artifact; EXPERIMENTS.md quotes it.
+func TestEmitServeBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_SERVE_OUT")
+	if path == "" {
+		t.Skip("BENCH_SERVE_OUT not set")
+	}
+
+	out := testOutput(t, "Giraph", "BFS")
+	job := out.Job
+	cols := query.BuildColumns(job)
+	const qstr = `actor ~ "Worker" and duration > 0.0001 order by duration desc limit 10`
+
+	timePer := func(n int, f func()) float64 {
+		f() // warm
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			f()
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(n)
+	}
+
+	type pair struct {
+		BaselineNsOp float64 `json:"baseline_ns_op"`
+		FastNsOp     float64 `json:"fast_ns_op"`
+		Speedup      float64 `json:"speedup"`
+	}
+
+	// 1. Repeated-query serving: parse + tree walk per request vs
+	// cached compile + columnar evaluation.
+	const reqN = 2000
+	uncached := timePer(reqN, func() {
+		q, err := query.Parse(qstr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Select(job)
+	})
+	cache := query.NewCache(64)
+	cached := timePer(reqN, func() {
+		q, err := cache.Parse(qstr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.SelectColumns(cols)
+	})
+
+	// 2. Columnar vs tree evaluation of one precompiled query.
+	q, err := query.Parse(qstr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := timePer(reqN, func() { q.Select(job) })
+	columnar := timePer(reqN, func() { q.SelectColumns(cols) })
+
+	// 3. Durable append throughput, 1 vs 8 writers sharing fsyncs.
+	payload := make([]byte, 256)
+	appendOps := func(writers, records int) float64 {
+		db, err := archivedb.Open(t.TempDir(), archivedb.Options{
+			SegmentSize: 1 << 30, SnapshotEvery: -1, NoBackground: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		var wg sync.WaitGroup
+		start := time.Now()
+		per := records / writers
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if err := db.Put(fmt.Sprintf("w%d-%d", w, i), payload, archivedb.IndexMeta{}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		return float64(per*writers) / time.Since(start).Seconds()
+	}
+	const appendN = 2000
+	ops1 := appendOps(1, appendN)
+	ops8 := appendOps(8, appendN)
+
+	report := struct {
+		RepeatedQuery  pair `json:"repeated_query"`
+		ColumnarSelect pair `json:"columnar_select"`
+		GroupCommit    struct {
+			Writers1OpsPerSec float64 `json:"writers1_ops_per_sec"`
+			Writers8OpsPerSec float64 `json:"writers8_ops_per_sec"`
+			Speedup           float64 `json:"speedup"`
+		} `json:"group_commit"`
+	}{
+		RepeatedQuery:  pair{BaselineNsOp: uncached, FastNsOp: cached, Speedup: uncached / cached},
+		ColumnarSelect: pair{BaselineNsOp: tree, FastNsOp: columnar, Speedup: tree / columnar},
+	}
+	report.GroupCommit.Writers1OpsPerSec = ops1
+	report.GroupCommit.Writers8OpsPerSec = ops8
+	report.GroupCommit.Speedup = ops8 / ops1
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s\n%s", path, data)
+}

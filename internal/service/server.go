@@ -33,14 +33,23 @@ type Server struct {
 	store   *Store
 	metrics *Metrics
 	faults  *faults.Injector
+	queries *query.Cache
+	resp    *RespCache
 	handler http.Handler
 }
 
-// ServerOptions tunes the server's robustness behavior.
+// ServerOptions tunes the server's robustness and caching behavior.
 type ServerOptions struct {
 	// Faults is the chaos injector threaded through the handlers; nil
 	// injects nothing.
 	Faults *faults.Injector
+	// QueryCacheSize bounds the compiled-query LRU: 0 selects the
+	// default capacity, < 0 disables the cache (every request re-parses,
+	// used by equivalence tests).
+	QueryCacheSize int
+	// RespCacheSize bounds the HTTP response cache the same way: 0 for
+	// the default capacity, < 0 to serve every request from the handler.
+	RespCacheSize int
 }
 
 // NewServer wires the API routes. Metrics may be nil, in which case a
@@ -55,6 +64,12 @@ func NewServerWith(exec *Executor, store *Store, m *Metrics, opts ServerOptions)
 		m = NewMetrics()
 	}
 	s := &Server{exec: exec, store: store, metrics: m, faults: opts.Faults}
+	if opts.QueryCacheSize >= 0 {
+		s.queries = query.NewCache(opts.QueryCacheSize)
+	}
+	if opts.RespCacheSize >= 0 {
+		s.resp = NewRespCache(opts.RespCacheSize)
+	}
 	mux := http.NewServeMux()
 	route := func(pattern string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.instrument(pattern, h))
@@ -63,9 +78,9 @@ func NewServerWith(exec *Executor, store *Store, m *Metrics, opts ServerOptions)
 	route("GET /jobs", s.handleList)
 	route("GET /jobs/{id}", s.handleStatus)
 	route("DELETE /jobs/{id}", s.handleCancel)
-	route("GET /jobs/{id}/archive", s.handleArchive)
-	route("GET /jobs/{id}/query", s.handleQuery)
-	route("GET /jobs/{id}/viz/{kind}", s.handleViz)
+	route("GET /jobs/{id}/archive", s.cached(s.handleArchive))
+	route("GET /jobs/{id}/query", s.cached(s.handleQuery))
+	route("GET /jobs/{id}/viz/{kind}", s.cached(s.handleViz))
 	route("POST /diff", s.handleDiff)
 	route("GET /healthz", s.handleHealthz)
 	route("GET /metrics", s.handleMetrics)
@@ -209,6 +224,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// parseQuery compiles a query string, through the compiled-query cache
+// when one is configured.
+func (s *Server) parseQuery(input string) (*query.Query, error) {
+	if s.queries != nil {
+		return s.queries.Parse(input)
+	}
+	return query.Parse(input)
+}
+
 // storedJob resolves a job ID to its archived result, writing the
 // appropriate error (404 for unknown, 409 for not-yet-done) otherwise.
 func (s *Server) storedJob(w http.ResponseWriter, id string) (*StoredJob, bool) {
@@ -296,12 +320,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var ops []*archive.Operation
 	switch {
 	case params.Has("q"):
-		q, err := query.Parse(params.Get("q"))
+		q, err := s.parseQuery(params.Get("q"))
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		ops = q.Select(sj.Job)
+		if sj.Cols != nil {
+			// Compiled evaluation over the columnar projection built at
+			// Put time; returns exactly what q.Select(sj.Job) would.
+			ops = q.SelectColumns(sj.Cols)
+		} else {
+			ops = q.Select(sj.Job)
+		}
 	case params.Has("mission"):
 		ops = sj.ByMission(params.Get("mission"))
 	case params.Has("actor"):
@@ -438,5 +468,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w, s.exec.QueueDepth(), s.store.Len(), s.store.StorageStats(), s.store.BreakerState())
+	s.metrics.WritePrometheus(w, s.exec.QueueDepth(), s.store.Len(), s.store.StorageStats(), s.store.BreakerState(), s.cacheStats())
+}
+
+// cacheStats samples the read-path caches for /metrics; nil when both
+// are disabled.
+func (s *Server) cacheStats() *CacheStats {
+	if s.queries == nil && s.resp == nil {
+		return nil
+	}
+	var cs CacheStats
+	if s.queries != nil {
+		cs.QueryHits, cs.QueryMisses, cs.QuerySize = s.queries.Stats()
+	}
+	if s.resp != nil {
+		cs.Resp = s.resp.Stats()
+	}
+	return &cs
 }

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/archivedb"
+	"repro/internal/query"
 )
 
 // Summary is the condensed result of one analyzed job, suitable for a
@@ -43,10 +44,13 @@ type Summary struct {
 // StoredJob is one archived job plus its secondary indexes. The indexes
 // are built once at Put time, after which the operation tree is treated
 // as immutable; repeated queries then hit a map lookup instead of
-// rescanning the tree.
+// rescanning the tree. Cols is the columnar projection of the operation
+// tree that query.SelectColumns evaluates against, built at the same
+// time under the same immutability assumption.
 type StoredJob struct {
 	Job     *archive.Job
 	Summary Summary
+	Cols    *query.Columns
 
 	byMission map[string][]*archive.Operation
 	byActor   map[string][]*archive.Operation
@@ -67,6 +71,7 @@ func indexJob(job *archive.Job, sum Summary) *StoredJob {
 		byActor:   map[string][]*archive.Operation{},
 		byPath:    map[string][]*archive.Operation{},
 	}
+	sj.Cols = query.BuildColumns(job)
 	if job.Root != nil {
 		job.Root.Walk(func(op *archive.Operation) {
 			sj.byMission[op.Mission] = append(sj.byMission[op.Mission], op)
@@ -180,6 +185,13 @@ type Store struct {
 	mu   sync.RWMutex
 	jobs map[string]*StoredJob
 	db   *archivedb.DB
+
+	// generation counts publishes. It is bumped inside the same critical
+	// section that makes a job visible, before the Put acks, so a
+	// response computed before a write can only ever be cached under a
+	// generation no post-ack reader observes — that is the entire
+	// invalidation story of the HTTP response cache.
+	generation uint64
 
 	breaker   *Breaker
 	probeStop chan struct{}
@@ -331,8 +343,19 @@ func (s *Store) Put(job *archive.Job, sum Summary) error {
 	}
 	s.mu.Lock()
 	s.jobs[sum.ID] = sj
+	s.generation++
 	s.mu.Unlock()
 	return nil
+}
+
+// Generation returns the store's publish counter. It changes on every
+// write that becomes visible to readers; response caches key on it so a
+// write invalidates every cached body in O(1).
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	g := s.generation
+	s.mu.RUnlock()
+	return g
 }
 
 // Get returns the stored job with the given ID.
