@@ -34,6 +34,13 @@
 // the HTTP handlers), e.g. -chaos "rate=0.05,seed=7,kinds=error+torn".
 // Combined with -loadtest this measures throughput and recovery under
 // injected failures; see internal/faults for the spec grammar.
+//
+// With -shard-id and -peers the process joins a replicated cluster
+// fronted by cmd/granula-router: each finished job is pushed to its
+// replica set and acked done only after -quorum shards hold it, and the
+// cluster-internal /internal/replicate, /internal/export/{id}, and
+// /cluster endpoints come up. See internal/shard and the README's
+// "Running a cluster" section.
 package main
 
 import (
@@ -52,6 +59,7 @@ import (
 	"repro/internal/archivedb"
 	"repro/internal/faults"
 	"repro/internal/service"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -76,6 +84,12 @@ type serveConfig struct {
 	pprofAddr    string
 	readRatio    float64
 	queries      int
+	loadtestURL  string
+	shardID      string
+	peers        string
+	replication  int
+	quorum       int
+	mapVersion   uint64
 }
 
 // parseFlags parses args into a serveConfig without touching globals,
@@ -100,8 +114,18 @@ func parseFlags(args []string, stderr io.Writer) (*serveConfig, error) {
 	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this extra loopback address, e.g. 127.0.0.1:6060 (empty = disabled; never expose publicly)")
 	fs.Float64Var(&cfg.readRatio, "read-ratio", 0, "loadtest: fraction of operations that are reads, in [0,1) — 0.9 issues nine Zipf-distributed query reads per job submission (0 = legacy fixed read sweep per job)")
 	fs.IntVar(&cfg.queries, "queries", 16, "loadtest: distinct query strings the mixed read workload draws from (Zipf-distributed)")
+	fs.StringVar(&cfg.loadtestURL, "loadtest-url", "", "loadtest: drive this base URL (e.g. a granula-router) instead of an in-process server; reports a per-shard latency split when the target is a cluster")
+	fs.StringVar(&cfg.shardID, "shard-id", "", "cluster: this node's shard ID (requires -peers)")
+	fs.StringVar(&cfg.peers, "peers", "", `cluster: full shard map as "id=url,id=url,..." including this node; empty = single-node`)
+	fs.IntVar(&cfg.replication, "replication", 0, "cluster: replicas per job incl. the primary (0 = all shards)")
+	fs.IntVar(&cfg.quorum, "quorum", 0, "cluster: write-quorum acks before a job is done (0 = majority of the replica set)")
+	fs.Uint64Var(&cfg.mapVersion, "map-version", 1, "cluster: shard-map version echoed on /cluster and /healthz")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if (cfg.shardID == "") != (cfg.peers == "") {
+		fmt.Fprintf(stderr, "granula-serve: -shard-id and -peers must be set together\n")
+		return nil, fmt.Errorf("bad cluster flags")
 	}
 	if cfg.readRatio < 0 || cfg.readRatio >= 1 {
 		fmt.Fprintf(stderr, "granula-serve: -read-ratio %v outside [0,1)\n", cfg.readRatio)
@@ -185,12 +209,38 @@ func run(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "granula-serve: data dir %s (%d archived jobs restored)\n",
 			cfg.dataDir, store.Len())
 	}
-	exec := service.NewExecutorWith(cfg.workers, cfg.queueCap, store, metrics, service.ExecutorOptions{
+	execOpts := service.ExecutorOptions{
 		Faults:          inj,
 		DefaultTimeout:  cfg.jobTimeout,
 		HostParallelism: cfg.parallelism,
-	})
-	srv := service.NewServerWith(exec, store, metrics, service.ServerOptions{Faults: inj})
+	}
+	srvOpts := service.ServerOptions{Faults: inj}
+	if cfg.peers != "" {
+		nodes, err := shard.ParseNodes(cfg.peers)
+		if err != nil {
+			fmt.Fprintf(stderr, "granula-serve: -peers: %v\n", err)
+			return 2
+		}
+		clusterMap, err := shard.NewMap(cfg.mapVersion, nodes, cfg.replication, cfg.quorum, 0)
+		if err != nil {
+			fmt.Fprintf(stderr, "granula-serve: %v\n", err)
+			return 2
+		}
+		rep, err := shard.NewReplicator(cfg.shardID, clusterMap, shard.ReplicatorOptions{})
+		if err != nil {
+			fmt.Fprintf(stderr, "granula-serve: %v\n", err)
+			return 2
+		}
+		execOpts.Replicator = rep
+		srvOpts.ShardID = cfg.shardID
+		srvOpts.Cluster = clusterMap
+		srvOpts.ExtraMetrics = rep.Metrics().WritePrometheus
+		fmt.Fprintf(stderr, "granula-serve: shard %s in a %d-shard map v%d (R=%d, W=%d)\n",
+			cfg.shardID, len(clusterMap.Shards), clusterMap.Version,
+			clusterMap.Replication, clusterMap.WriteQuorum)
+	}
+	exec := service.NewExecutorWith(cfg.workers, cfg.queueCap, store, metrics, execOpts)
+	srv := service.NewServerWith(exec, store, metrics, srvOpts)
 
 	if cfg.loadtest > 0 {
 		return runLoadTest(srv, exec, cfg, stderr)
@@ -263,17 +313,26 @@ func serve(srv *service.Server, exec *service.Executor, cfg *serveConfig, stderr
 	return 0
 }
 
-// runLoadTest serves on a loopback port and drives the API from the
-// same process — the zero-setup throughput demonstration.
+// runLoadTest drives the API with the load-test client. By default it
+// serves on a loopback port and drives itself — the zero-setup
+// throughput demonstration. With -loadtest-url it drives an external
+// endpoint instead (typically a granula-router fronting a cluster, in
+// which case the report includes a per-shard latency split).
 func runLoadTest(srv *service.Server, exec *service.Executor, cfg *serveConfig, stderr io.Writer) int {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		fmt.Fprintf(stderr, "granula-serve: %v\n", err)
-		return 1
+	var base string
+	var httpSrv *http.Server
+	if cfg.loadtestURL != "" {
+		base = cfg.loadtestURL
+	} else {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(stderr, "granula-serve: %v\n", err)
+			return 1
+		}
+		httpSrv = newHTTPServer("", srv.Handler())
+		go httpSrv.Serve(ln)
+		base = "http://" + ln.Addr().String()
 	}
-	httpSrv := newHTTPServer("", srv.Handler())
-	go httpSrv.Serve(ln)
-	base := "http://" + ln.Addr().String()
 	fmt.Fprintf(stderr, "granula-serve: load-testing %s with %d jobs (%d clients)\n",
 		base, cfg.loadtest, cfg.concurrency)
 
@@ -287,7 +346,9 @@ func runLoadTest(srv *service.Server, exec *service.Executor, cfg *serveConfig, 
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
-	httpSrv.Shutdown(ctx)
+	if httpSrv != nil {
+		httpSrv.Shutdown(ctx)
+	}
 	exec.Shutdown(ctx)
 	if err != nil {
 		fmt.Fprintf(stderr, "granula-serve: loadtest: %v\n", err)

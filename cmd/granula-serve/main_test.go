@@ -189,3 +189,33 @@ func TestStorageBenchSmoke(t *testing.T) {
 		t.Fatalf("storagebench produced no progress output:\n%s", buf.String())
 	}
 }
+
+func TestParseFlagsCluster(t *testing.T) {
+	var buf bytes.Buffer
+	cfg, err := parseFlags([]string{
+		"-shard-id", "s1",
+		"-peers", "s1=http://h1:1,s2=http://h2:1,s3=http://h3:1",
+		"-replication", "3", "-quorum", "2",
+		"-loadtest-url", "http://router:8080",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.shardID != "s1" || cfg.replication != 3 || cfg.quorum != 2 {
+		t.Fatalf("cluster flags wrong: %+v", cfg)
+	}
+	if cfg.loadtestURL != "http://router:8080" || cfg.mapVersion != 1 {
+		t.Fatalf("cluster flags wrong: %+v", cfg)
+	}
+	// -shard-id and -peers only make sense together.
+	if _, err := parseFlags([]string{"-shard-id", "s1"}, &buf); err == nil {
+		t.Fatal("parseFlags accepted -shard-id without -peers")
+	}
+	if _, err := parseFlags([]string{"-peers", "s1=http://h1:1"}, &buf); err == nil {
+		t.Fatal("parseFlags accepted -peers without -shard-id")
+	}
+	// A shard ID outside the map is caught before anything starts.
+	if code := run([]string{"-shard-id", "nope", "-peers", "s1=http://h1:1"}, &buf); code != 2 {
+		t.Fatalf("run with a shard ID outside the map = %d, want exit code 2", code)
+	}
+}

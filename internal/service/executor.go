@@ -166,6 +166,21 @@ type ExecutorOptions struct {
 	// pool (so concurrent jobs never oversubscribe the host); results
 	// are byte-identical for every value.
 	HostParallelism int
+	// Replicator, when set, is the cluster write fan-out: after a job's
+	// archive is durable locally, the executor blocks on it until the
+	// write quorum acks, and only then marks the job done. A quorum
+	// failure fails the job — the client never saw done, so the
+	// durability contract ("done implies W copies") holds. nil means
+	// single-node operation.
+	Replicator JobReplicator
+}
+
+// JobReplicator is the executor's hook into cluster replication,
+// implemented by shard.Replicator: push one durable job (its exact
+// persisted bytes, tagged with its write version) to its replica set
+// and return once the write quorum is met.
+type JobReplicator interface {
+	ReplicateJob(ctx context.Context, id string, version uint64, payload []byte) error
 }
 
 // Executor is the bounded job pool: a fixed number of workers drain a
@@ -182,6 +197,7 @@ type Executor struct {
 	retry   RetryPolicy
 	defTO   time.Duration
 	jobPar  int // per-job engine host parallelism
+	repl    JobReplicator
 
 	// ctx is canceled when a shutdown deadline expires, aborting every
 	// in-flight simulation through its per-job context.
@@ -248,6 +264,7 @@ func NewExecutorWith(workers, queueCap int, store *Store, m *Metrics, opts Execu
 		retry:    opts.Retry.normalized(),
 		defTO:    opts.DefaultTimeout,
 		jobPar:   jobPar,
+		repl:     opts.Replicator,
 		ctx:      ctx,
 		cancel:   cancel,
 		queueCap: queueCap,
@@ -455,7 +472,28 @@ func (e *Executor) process(id string) {
 		e.finishErr(id, req, "", fmt.Errorf("persist archive: %w", err))
 		return
 	}
+	if e.repl != nil {
+		// Cluster mode: "done" additionally means the write quorum holds
+		// the archive, so losing this shard cannot lose an acked job.
+		if err := e.replicate(ctx, id); err != nil {
+			e.finishErr(id, req, "", fmt.Errorf("replicate archive: %w", err))
+			return
+		}
+	}
 	e.setDone(id, sum)
+}
+
+// replicate pushes a freshly persisted job to its replica set and waits
+// for the write quorum.
+func (e *Executor) replicate(ctx context.Context, id string) error {
+	payload, version, ok, err := e.store.Export(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("service: job %q vanished before replication", id)
+	}
+	return e.repl.ReplicateJob(ctx, id, version, payload)
 }
 
 // runIsolated runs the simulation with panic isolation: a panicking job

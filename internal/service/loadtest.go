@@ -11,6 +11,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/shard"
 )
 
 // LoadTestConfig drives RunLoadTest.
@@ -24,6 +26,11 @@ type LoadTestConfig struct {
 	// Vertices/Edges size each job's graph; 0 selects 2000/10000.
 	Vertices int64
 	Edges    int64
+	// Nodes sizes each job's simulated cluster; 0 selects the default
+	// 8-node model. Smaller models shift the per-job cost from CPU
+	// toward commit latency, which cluster benches use to isolate the
+	// sharding speedup from host CPU contention.
+	Nodes int
 	// ReadRatio in (0,1) switches to the mixed read/write workload: the
 	// configured Jobs are still all submitted, and read requests are
 	// interleaved so reads make up this fraction of operations — e.g.
@@ -56,6 +63,18 @@ type LoadTestResult struct {
 	P95        time.Duration
 	P99        time.Duration
 	Max        time.Duration
+	// PerShard splits the latency distribution by the serving shard when
+	// the target is a cluster router (responses carry shard.ShardHeader);
+	// empty against a single node. Sorted by shard ID.
+	PerShard []ShardLatency
+}
+
+// ShardLatency is one shard's slice of a load test.
+type ShardLatency struct {
+	Shard    string
+	Requests int
+	P50      time.Duration
+	P99      time.Duration
 }
 
 // loadClient is one goroutine's view of the API plus shared counters.
@@ -65,6 +84,7 @@ type loadClient struct {
 
 	mu        sync.Mutex
 	latencies []time.Duration
+	perShard  map[string][]time.Duration // latency by serving shard
 	requests  int
 	done      int
 	failed    int
@@ -88,10 +108,16 @@ func (lc *loadClient) pickDoneID(rng *rand.Rand) string {
 	return lc.doneIDs[rng.Intn(len(lc.doneIDs))]
 }
 
-func (lc *loadClient) record(d time.Duration) {
+func (lc *loadClient) record(d time.Duration, shardID string) {
 	lc.mu.Lock()
 	lc.latencies = append(lc.latencies, d)
 	lc.requests++
+	if shardID != "" {
+		if lc.perShard == nil {
+			lc.perShard = map[string][]time.Duration{}
+		}
+		lc.perShard[shardID] = append(lc.perShard[shardID], d)
+	}
 	lc.mu.Unlock()
 }
 
@@ -115,7 +141,7 @@ func (lc *loadClient) do(method, path string, body any) (*http.Response, []byte,
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(resp.Body)
-	lc.record(time.Since(start))
+	lc.record(time.Since(start), resp.Header.Get(shard.ShardHeader))
 	if err != nil {
 		return resp, nil, err
 	}
@@ -132,6 +158,7 @@ func (lc *loadClient) submitJob(i int) (string, error) {
 		Algorithm: algorithm,
 		Vertices:  lc.cfg.Vertices,
 		Edges:     lc.cfg.Edges,
+		Nodes:     lc.cfg.Nodes,
 	}
 	var id string
 	for {
@@ -385,6 +412,21 @@ func RunLoadTest(cfg LoadTestConfig) (*LoadTestResult, error) {
 		res.P99 = lc.latencies[n*99/100]
 		res.Max = lc.latencies[n-1]
 	}
+	shards := make([]string, 0, len(lc.perShard))
+	for id := range lc.perShard {
+		shards = append(shards, id)
+	}
+	sort.Strings(shards)
+	for _, id := range shards {
+		ds := lc.perShard[id]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		res.PerShard = append(res.PerShard, ShardLatency{
+			Shard:    id,
+			Requests: len(ds),
+			P50:      ds[len(ds)/2],
+			P99:      ds[len(ds)*99/100],
+		})
+	}
 	return res, nil
 }
 
@@ -398,5 +440,9 @@ func (r *LoadTestResult) Render() string {
 	}
 	out += fmt.Sprintf("request latency: p50 %s  p95 %s  p99 %s  max %s\n",
 		r.P50, r.P95, r.P99, r.Max)
+	for _, s := range r.PerShard {
+		out += fmt.Sprintf("  shard %s: %d requests  p50 %s  p99 %s\n",
+			s.Shard, s.Requests, s.P50, s.P99)
+	}
 	return out
 }

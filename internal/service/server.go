@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/query"
 	"repro/internal/regression"
+	"repro/internal/shard"
 	"repro/internal/viz"
 )
 
@@ -36,6 +38,10 @@ type Server struct {
 	queries *query.Cache
 	resp    *RespCache
 	handler http.Handler
+
+	shardID string
+	cluster *shard.Map
+	extra   func(io.Writer)
 }
 
 // ServerOptions tunes the server's robustness and caching behavior.
@@ -50,6 +56,16 @@ type ServerOptions struct {
 	// RespCacheSize bounds the HTTP response cache the same way: 0 for
 	// the default capacity, < 0 to serve every request from the handler.
 	RespCacheSize int
+	// ShardID names this node in a cluster; empty means single-node.
+	// It is echoed in /healthz and /cluster.
+	ShardID string
+	// Cluster is the shard map this node serves under; nil means
+	// single-node. /cluster echoes it so operators can confirm every
+	// node converged on the same map version.
+	Cluster *shard.Map
+	// ExtraMetrics, when set, is appended to the /metrics exposition
+	// after the core families; the replication metrics ride here.
+	ExtraMetrics func(io.Writer)
 }
 
 // NewServer wires the API routes. Metrics may be nil, in which case a
@@ -63,7 +79,10 @@ func NewServerWith(exec *Executor, store *Store, m *Metrics, opts ServerOptions)
 	if m == nil {
 		m = NewMetrics()
 	}
-	s := &Server{exec: exec, store: store, metrics: m, faults: opts.Faults}
+	s := &Server{
+		exec: exec, store: store, metrics: m, faults: opts.Faults,
+		shardID: opts.ShardID, cluster: opts.Cluster, extra: opts.ExtraMetrics,
+	}
 	if opts.QueryCacheSize >= 0 {
 		s.queries = query.NewCache(opts.QueryCacheSize)
 	}
@@ -84,6 +103,9 @@ func NewServerWith(exec *Executor, store *Store, m *Metrics, opts ServerOptions)
 	route("POST /diff", s.handleDiff)
 	route("GET /healthz", s.handleHealthz)
 	route("GET /metrics", s.handleMetrics)
+	route("POST "+shard.ReplicatePath, s.handleReplicate)
+	route("GET "+shard.ExportPathPrefix+"{id}", s.handleExport)
+	route("GET "+shard.ClusterPath, s.handleCluster)
 	s.handler = mux
 	return s
 }
@@ -204,6 +226,21 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	st, ok := s.exec.State(id)
 	if !ok {
+		// The executor never saw this job, but the store may hold its
+		// archive anyway: jobs replicated from another shard, and jobs
+		// restored from the archive database after a restart, exist only
+		// as archives. Synthesize the terminal state from the summary so
+		// status survives primary failover and process restarts.
+		if sj, stored := s.store.Get(id); stored {
+			sum := sj.Summary
+			writeJSON(w, http.StatusOK, JobState{
+				ID:      id,
+				Request: JobRequest{Platform: sum.Platform, Algorithm: sum.Algorithm, ID: id},
+				Status:  StatusDone,
+				Summary: &sum,
+			})
+			return
+		}
 		writeError(w, http.StatusNotFound, "no job %q", id)
 		return
 	}
@@ -442,13 +479,19 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 
 // healthResponse reports liveness plus coarse load and the persistence
 // breaker state, so orchestrators can distinguish healthy from
-// degraded-but-serving.
+// degraded-but-serving. Generation is the store's publish counter — the
+// response-cache key — exposed so operators (and the router's /cluster
+// view) can watch replicas converge after writes. The shard fields are
+// omitted outside cluster mode.
 type healthResponse struct {
 	Status     string `json:"status"`
 	Breaker    string `json:"breaker"`
 	Jobs       int    `json:"jobs"`
 	QueueDepth int    `json:"queueDepth"`
 	StoreJobs  int    `json:"storeJobs"`
+	Generation uint64 `json:"generation"`
+	ShardID    string `json:"shardId,omitempty"`
+	MapVersion uint64 `json:"mapVersion,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -457,18 +500,106 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if breaker != BreakerClosed {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:     status,
 		Breaker:    breaker.String(),
 		Jobs:       len(s.exec.States()),
 		QueueDepth: s.exec.QueueDepth(),
 		StoreJobs:  s.store.Len(),
-	})
+		Generation: s.store.Generation(),
+		ShardID:    s.shardID,
+	}
+	if s.cluster != nil {
+		resp.MapVersion = s.cluster.Version
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w, s.exec.QueueDepth(), s.store.Len(), s.store.StorageStats(), s.store.BreakerState(), s.cacheStats())
+	if s.extra != nil {
+		s.extra(w)
+	}
+}
+
+// replicateResponse acks an applied (or replayed) replica record.
+type replicateResponse struct {
+	ID      string `json:"id"`
+	Version uint64 `json:"version"`
+}
+
+// handleReplicate serves the cluster-internal write path: another shard
+// (or the router's read-repair) pushes a job's persisted bytes here.
+// Application is idempotent by (ID, version), so retries and racing
+// repairs are safe; the ack echoes the version now stored locally.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	var rec shard.ReplicaRecord
+	if !decodeBody(w, r, &rec) {
+		return
+	}
+	if rec.ID == "" || len(rec.Payload) == 0 {
+		writeError(w, http.StatusBadRequest, "replica record needs an id and a payload")
+		return
+	}
+	if err := s.store.ApplyReplica(rec.ID, rec.Version, rec.Payload); err != nil {
+		if errors.Is(err, ErrDegraded) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, replicateResponse{ID: rec.ID, Version: s.store.Version(rec.ID)})
+}
+
+// handleExport serves the cluster-internal read side of replication:
+// the exact persisted bytes plus version for one job, consumed by the
+// router's read-repair to converge divergent replicas.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	payload, version, ok, err := s.store.Export(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	// Marshal compactly instead of via writeJSON: its indenting would
+	// reformat the embedded payload, and read-repair must ship the
+	// exact bytes the primary fsynced so replicas stay byte-identical.
+	blob, err := json.Marshal(shard.ReplicaRecord{ID: id, Version: version, Payload: payload})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(blob)
+}
+
+// clusterInfo is the shard-side /cluster response; the router serves a
+// richer view with live per-shard health on the same path.
+type clusterInfo struct {
+	Mode       string     `json:"mode"`
+	ShardID    string     `json:"shardId,omitempty"`
+	MapVersion uint64     `json:"mapVersion,omitempty"`
+	Map        *shard.Map `json:"map,omitempty"`
+	Generation uint64     `json:"generation"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	info := clusterInfo{Mode: "single", Generation: s.store.Generation()}
+	if s.cluster != nil {
+		info.Mode = "shard"
+		info.ShardID = s.shardID
+		info.MapVersion = s.cluster.Version
+		info.Map = s.cluster
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // cacheStats samples the read-path caches for /metrics; nil when both

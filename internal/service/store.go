@@ -143,10 +143,14 @@ func (sj *StoredJob) indexMeta() archivedb.IndexMeta {
 // persistedJob is the archivedb payload schema: the serving summary
 // plus the full performance archive of one job. encoding/json emits
 // struct fields in declaration order and map keys sorted, so the bytes
-// are deterministic for a given job.
+// are deterministic for a given job. Version orders replicated writes
+// of the same ID: a replica at version >= v treats an incoming v as a
+// replay and acks without rewriting. Records persisted before versions
+// existed carry 0 and are read back as version 1.
 type persistedJob struct {
 	Summary Summary      `json:"summary"`
 	Job     *archive.Job `json:"job"`
+	Version uint64       `json:"version,omitempty"`
 }
 
 // ErrDegraded is returned by Put while the persistence circuit breaker
@@ -182,9 +186,10 @@ type StoreOptions struct {
 // background probe re-closes the breaker once storage recovers. It is
 // safe for concurrent readers and writers.
 type Store struct {
-	mu   sync.RWMutex
-	jobs map[string]*StoredJob
-	db   *archivedb.DB
+	mu       sync.RWMutex
+	jobs     map[string]*StoredJob
+	versions map[string]uint64
+	db       *archivedb.DB
 
 	// generation counts publishes. It is bumped inside the same critical
 	// section that makes a job visible, before the Put acks, so a
@@ -201,7 +206,7 @@ type Store struct {
 
 // NewStore returns an empty in-memory store with no durability.
 func NewStore() *Store {
-	return &Store{jobs: map[string]*StoredJob{}}
+	return &Store{jobs: map[string]*StoredJob{}, versions: map[string]uint64{}}
 }
 
 // NewStoreWithDB returns a store backed by db with default breaker
@@ -245,6 +250,10 @@ func NewStoreWithOptions(db *archivedb.DB, opts StoreOptions) (*Store, error) {
 		}
 		archive.New().Add(pj.Job) // restore parent links and child order
 		s.jobs[id] = indexJob(pj.Job, pj.Summary)
+		if pj.Version == 0 {
+			pj.Version = 1
+		}
+		s.versions[id] = pj.Version
 	}
 	return s, nil
 }
@@ -327,8 +336,11 @@ func (s *Store) StorageStats() *archivedb.Stats {
 func (s *Store) Put(job *archive.Job, sum Summary) error {
 	archive.New().Add(job)
 	sj := indexJob(job, sum)
+	s.mu.RLock()
+	version := s.versions[sum.ID] + 1
+	s.mu.RUnlock()
 	if s.db != nil {
-		payload, err := json.Marshal(persistedJob{Summary: sum, Job: job})
+		payload, err := json.Marshal(persistedJob{Summary: sum, Job: job, Version: version})
 		if err != nil {
 			return fmt.Errorf("service: encode job %q: %w", sum.ID, err)
 		}
@@ -343,7 +355,91 @@ func (s *Store) Put(job *archive.Job, sum Summary) error {
 	}
 	s.mu.Lock()
 	s.jobs[sum.ID] = sj
+	s.versions[sum.ID] = version
 	s.generation++
+	s.mu.Unlock()
+	return nil
+}
+
+// Version returns the stored job's write version (0 when unknown).
+func (s *Store) Version(id string) uint64 {
+	s.mu.RLock()
+	v := s.versions[id]
+	s.mu.RUnlock()
+	return v
+}
+
+// Export returns the replication payload for a stored job: the exact
+// persistedJob bytes (from the backing database when there is one, so
+// replicas receive what the primary fsynced) plus its version. It feeds
+// both the write-path replication fan-out and the router's read-repair.
+func (s *Store) Export(id string) (payload []byte, version uint64, ok bool, err error) {
+	s.mu.RLock()
+	sj, have := s.jobs[id]
+	version = s.versions[id]
+	s.mu.RUnlock()
+	if !have {
+		return nil, 0, false, nil
+	}
+	if s.db != nil {
+		payload, have, err = s.db.Get(id)
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("service: export job %q: %w", id, err)
+		}
+		if have {
+			return payload, version, true, nil
+		}
+	}
+	payload, err = json.Marshal(persistedJob{Summary: sj.Summary, Job: sj.Job, Version: version})
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("service: export job %q: %w", id, err)
+	}
+	return payload, version, true, nil
+}
+
+// ApplyReplica applies one replicated write: the exact payload bytes
+// another shard persisted for this job, tagged with its version. It is
+// idempotent — a version at or below the local one is a replay and
+// succeeds without writing — so replication retries and read-repair can
+// push the same record any number of times. The raw bytes go to the
+// backing database unchanged, keeping every replica byte-identical to
+// the primary; the decoded job is published to readers under the same
+// generation rules as Put.
+func (s *Store) ApplyReplica(id string, version uint64, payload []byte) error {
+	if version == 0 {
+		version = 1
+	}
+	s.mu.RLock()
+	cur := s.versions[id]
+	s.mu.RUnlock()
+	if cur >= version {
+		return nil
+	}
+	var pj persistedJob
+	if err := json.Unmarshal(payload, &pj); err != nil {
+		return fmt.Errorf("service: decode replica %q: %w", id, err)
+	}
+	if pj.Job == nil {
+		return fmt.Errorf("service: replica %q has no archive", id)
+	}
+	archive.New().Add(pj.Job)
+	sj := indexJob(pj.Job, pj.Summary)
+	if s.db != nil {
+		if !s.breaker.Allow() {
+			return ErrDegraded
+		}
+		if err := s.db.Put(id, payload, sj.indexMeta()); err != nil {
+			s.breaker.Failure()
+			return err
+		}
+		s.breaker.Success()
+	}
+	s.mu.Lock()
+	if s.versions[id] < version {
+		s.jobs[id] = sj
+		s.versions[id] = version
+		s.generation++
+	}
 	s.mu.Unlock()
 	return nil
 }

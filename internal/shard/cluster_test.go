@@ -1,0 +1,545 @@
+// Cluster end-to-end tests: real granula-serve stacks — archivedb WAL,
+// store, executor with replication fan-out, HTTP server — behind a real
+// router, in one process. The external test package keeps the
+// dependency direction honest (shard itself must not import service)
+// while exercising the same wiring cmd/granula-serve and
+// cmd/granula-router perform.
+package shard_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"context"
+
+	"repro/internal/archivedb"
+	"repro/internal/service"
+	"repro/internal/shard"
+)
+
+// clusterShard is one in-process granula-serve shard: its own WAL
+// directory, store, executor, and HTTP server on a real listener whose
+// address stays stable across kill and restart — the shard map names
+// that address, so a restarted shard must come back on it.
+type clusterShard struct {
+	id        string
+	url       string
+	addr      string
+	dir       string
+	m         *shard.Map
+	workers   int
+	nosync    bool
+	commitWin time.Duration
+
+	httpSrv *http.Server
+	db      *archivedb.DB
+	store   *service.Store
+	exec    *service.Executor
+	up      bool
+}
+
+func (cs *clusterShard) start(t *testing.T, ln net.Listener) {
+	t.Helper()
+	db, err := archivedb.Open(cs.dir, archivedb.Options{NoSync: cs.nosync, GroupCommitWindow: cs.commitWin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := service.NewMetrics()
+	store, err := service.NewStoreWithOptions(db, service.StoreOptions{Metrics: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := shard.NewReplicator(cs.id, cs.m, shard.ReplicatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := service.NewExecutorWith(cs.workers, 64, store, metrics, service.ExecutorOptions{
+		Replicator:      rep,
+		HostParallelism: 1, // parallelism never changes bytes; 1 keeps N shards from oversubscribing the host
+	})
+	srv := service.NewServerWith(exec, store, metrics, service.ServerOptions{
+		ShardID:      cs.id,
+		Cluster:      cs.m,
+		ExtraMetrics: rep.Metrics().WritePrometheus,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	cs.httpSrv, cs.db, cs.store, cs.exec = hs, db, store, exec
+	cs.up = true
+}
+
+// kill tears the shard down: HTTP first (the address goes dark), then
+// the executor with a short deadline so in-flight jobs abort rather
+// than drain, then storage. Safe to call from non-test goroutines.
+func (cs *clusterShard) kill() {
+	if !cs.up {
+		return
+	}
+	cs.up = false
+	cs.httpSrv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	cs.exec.Shutdown(ctx)
+	cancel()
+	cs.store.Close()
+	cs.db.Close()
+}
+
+// restart brings the shard back on its original address, recovering
+// its state from the WAL like a restarted process would.
+func (cs *clusterShard) restart(t *testing.T) {
+	t.Helper()
+	var ln net.Listener
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", cs.addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", cs.addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cs.start(t, ln)
+}
+
+type cluster struct {
+	m      *shard.Map
+	shards []*clusterShard
+	part   *shard.Partition
+	router *shard.Router
+	rts    *httptest.Server
+}
+
+type clusterConfig struct {
+	shards      int
+	replication int
+	quorum      int
+	repairEvery int
+	workers     int
+	nosync      bool
+	commitWin   time.Duration // WAL group-commit window per shard
+}
+
+func startCluster(t *testing.T, cfg clusterConfig) *cluster {
+	t.Helper()
+	if cfg.workers == 0 {
+		cfg.workers = 2
+	}
+	lns := make([]net.Listener, cfg.shards)
+	nodes := make([]shard.Node, cfg.shards)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		nodes[i] = shard.Node{
+			ID:  fmt.Sprintf("s%d", i+1),
+			URL: "http://" + ln.Addr().String(),
+		}
+	}
+	m, err := shard.NewMap(1, nodes, cfg.replication, cfg.quorum, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &cluster{m: m, part: shard.NewPartition()}
+	for i, node := range nodes {
+		cs := &clusterShard{
+			id: node.ID, url: node.URL, addr: lns[i].Addr().String(),
+			dir: t.TempDir(), m: m, workers: cfg.workers, nosync: cfg.nosync,
+			commitWin: cfg.commitWin,
+		}
+		cs.start(t, lns[i])
+		c.shards = append(c.shards, cs)
+	}
+	c.router = shard.NewRouter(m, shard.RouterOptions{
+		Client:        c.part.Client(),
+		RepairEvery:   cfg.repairEvery,
+		HealthTimeout: 500 * time.Millisecond,
+	})
+	c.rts = httptest.NewServer(c.router.Handler())
+	t.Cleanup(func() {
+		c.rts.Close()
+		c.router.WaitRepairs()
+		for _, cs := range c.shards {
+			cs.kill()
+		}
+	})
+	return c
+}
+
+func clusterJob(id string, seed int64) service.JobRequest {
+	return service.JobRequest{
+		ID: id, Platform: "Giraph", Algorithm: "BFS",
+		Vertices: 120, Edges: 480, Seed: seed,
+	}
+}
+
+// postJob submits without failing the test, so storms can ride out a
+// dying shard; the bool reports acceptance.
+func postJob(base string, req service.JobRequest) bool {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return false
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusAccepted
+}
+
+// pollDone polls a job through the router until it reaches done (true)
+// or fails, vanishes with its shard, or times out (false). Transport
+// and 5xx errors are tolerated: polling rides through failovers.
+func pollDone(base, id string, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				var st service.JobState
+				if json.Unmarshal(body, &st) == nil {
+					switch st.Status {
+					case service.StatusDone:
+						return true
+					case service.StatusFailed, service.StatusCanceled:
+						return false
+					}
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}
+
+// mustGet fetches a router URL and fails the test on any 5xx — the
+// no-client-visible-5xx-on-reads contract of the chaos scenarios.
+func mustGet(t *testing.T, rawurl string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(rawurl)
+	if err != nil {
+		t.Fatalf("GET %s: %v", rawurl, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		t.Fatalf("GET %s: %s: %s", rawurl, resp.Status, body)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+// TestClusterRouterByteEquivalence pins the determinism contract of the
+// whole cluster: for a fixed shard map, /archive and /query bytes
+// served through the router equal the bytes a single granula-serve
+// node produces for the same jobs. Clients must not be able to tell
+// sharding happened.
+func TestClusterRouterByteEquivalence(t *testing.T) {
+	metrics := service.NewMetrics()
+	store := service.NewStore()
+	exec := service.NewExecutorWith(2, 64, store, metrics, service.ExecutorOptions{HostParallelism: 1})
+	defer exec.Shutdown(context.Background())
+	single := httptest.NewServer(service.NewServerWith(exec, store, metrics, service.ServerOptions{}).Handler())
+	defer single.Close()
+
+	c := startCluster(t, clusterConfig{shards: 3, replication: 3, quorum: 2, repairEvery: 4, nosync: true})
+
+	reqs := []service.JobRequest{
+		{ID: "eq-001", Platform: "Giraph", Algorithm: "BFS", Vertices: 150, Edges: 600, Seed: 1},
+		{ID: "eq-002", Platform: "PowerGraph", Algorithm: "PageRank", Vertices: 150, Edges: 600, Seed: 2, Iterations: 4},
+		{ID: "eq-003", Platform: "OpenG", Algorithm: "BFS", Vertices: 150, Edges: 600, Seed: 3},
+		{ID: "eq-004", Platform: "Giraph", Algorithm: "SSSP", Vertices: 150, Edges: 600, Seed: 4},
+		{ID: "eq-005", Platform: "PowerGraph", Algorithm: "WCC", Vertices: 150, Edges: 600, Seed: 5},
+		{ID: "eq-006", Platform: "Giraph", Algorithm: "PageRank", Vertices: 150, Edges: 600, Seed: 6, Iterations: 4},
+	}
+	// The explicit IDs must not all land on one shard, or the test
+	// would not exercise routing at all.
+	primaries := map[string]bool{}
+	for _, req := range reqs {
+		primaries[c.m.Owners(req.ID)[0].ID] = true
+		if !postJob(single.URL, req) {
+			t.Fatalf("single node rejected %s", req.ID)
+		}
+		if !postJob(c.rts.URL, req) {
+			t.Fatalf("router rejected %s", req.ID)
+		}
+	}
+	if len(primaries) < 2 {
+		t.Fatalf("all equivalence jobs hash to one shard (%v); pick different IDs", primaries)
+	}
+	for _, req := range reqs {
+		if !pollDone(single.URL, req.ID, 60*time.Second) {
+			t.Fatalf("single node did not finish %s", req.ID)
+		}
+		if !pollDone(c.rts.URL, req.ID, 60*time.Second) {
+			t.Fatalf("cluster did not finish %s", req.ID)
+		}
+	}
+
+	q := url.Values{"q": {`actor ~ "Worker" and duration > 0.0001 order by duration desc limit 10`}}.Encode()
+	for _, req := range reqs {
+		for _, path := range []string{
+			"/jobs/" + req.ID + "/archive",
+			"/jobs/" + req.ID + "/query?" + q,
+		} {
+			wantCode, want, wantHdr := mustGet(t, single.URL+path)
+			gotCode, got, gotHdr := mustGet(t, c.rts.URL+path)
+			if wantCode != http.StatusOK || gotCode != http.StatusOK {
+				t.Fatalf("%s: single %d, routed %d", path, wantCode, gotCode)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: routed bytes differ from single-node bytes (%d vs %d bytes)",
+					path, len(got), len(want))
+			}
+			if g, w := gotHdr.Get("ETag"), wantHdr.Get("ETag"); g != w {
+				t.Fatalf("%s: ETag %q through the router, %q single-node", path, g, w)
+			}
+			if gotHdr.Get(shard.ShardHeader) == "" {
+				t.Errorf("%s: routed response is missing %s", path, shard.ShardHeader)
+			}
+		}
+	}
+}
+
+// TestClusterChaos is the cluster durability scenario the subsystem
+// exists for: a 3-shard cluster (R=3, W=2) takes a concurrent write
+// storm through the router while one shard is killed mid-storm. Every
+// job the client saw reach done must stay readable with the shard
+// down, with no client-visible 5xx; after the shard restarts from its
+// WAL, reads repair it back to convergence; a network partition of a
+// second shard must also leave every acked job readable.
+func TestClusterChaos(t *testing.T) {
+	c := startCluster(t, clusterConfig{shards: 3, replication: 3, quorum: 2, repairEvery: 1, nosync: true})
+	base := c.rts.URL
+	victim := c.shards[1]
+
+	const clients, perClient = 3, 8
+	killAt := make(chan struct{})
+	var killOnce sync.Once
+	killed := make(chan struct{})
+	go func() {
+		<-killAt
+		victim.kill()
+		close(killed)
+	}()
+
+	var mu sync.Mutex
+	var acked []string
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				id := fmt.Sprintf("chaos-%d-%02d", cl, j)
+				if !postJob(base, clusterJob(id, int64(cl*100+j))) {
+					continue
+				}
+				if cl == 0 && j == 2 {
+					killOnce.Do(func() { close(killAt) })
+				}
+				if pollDone(base, id, 30*time.Second) {
+					mu.Lock()
+					acked = append(acked, id)
+					mu.Unlock()
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	killOnce.Do(func() { close(killAt) }) // storm too fast for the trigger? kill anyway
+	<-killed
+
+	// The cluster must have made real progress through the kill: jobs
+	// whose primary died fail over, jobs running on the victim may be
+	// lost (the client never saw done for those).
+	if len(acked) < clients*perClient/2 {
+		t.Fatalf("only %d/%d jobs reached done through the kill", len(acked), clients*perClient)
+	}
+
+	// One shard down: every acked job must still be readable through
+	// the router. W=2 of 3 guarantees at least one live replica holds
+	// each acked job; mustGet fails the test on any 5xx.
+	for _, id := range acked {
+		if code, body, _ := mustGet(t, base+"/jobs/"+id+"/archive"); code != http.StatusOK {
+			t.Fatalf("acked %s unreadable with one shard down: %d %s", id, code, body)
+		}
+	}
+	if c.router.Metrics().Failovers() == 0 {
+		t.Fatal("a killed shard produced no failovers")
+	}
+
+	// Aggregate health must degrade, not die.
+	_, body, _ := mustGet(t, base+"/healthz")
+	var health struct {
+		Status    string `json:"status"`
+		Reachable int    `json:"reachable"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || health.Reachable != 2 {
+		t.Fatalf("healthz with one shard down = %s", body)
+	}
+
+	// Restart the victim from its WAL and let reads repair it: with
+	// RepairEvery=1 every read probes a replica, and 404 failovers push
+	// the newest copy back. Convergence = the victim exports every
+	// acked job.
+	victim.restart(t)
+	waitShardHealthy(t, victim.url)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		// Read each job once per replica: the follower-read rotation
+		// advances per request, so three consecutive reads of one job
+		// cover every rotation start, including the one that hits the
+		// restarted shard's 404 (which is what triggers its repair).
+		for _, id := range acked {
+			for range c.shards {
+				mustGet(t, base+"/jobs/"+id+"/archive")
+			}
+		}
+		c.router.WaitRepairs()
+		if missing := missingOn(victim, acked); len(missing) == 0 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("victim still missing %d jobs after repair sweeps: %v", len(missing), missing)
+		}
+	}
+	if c.router.Metrics().Repairs() == 0 {
+		t.Fatal("restart convergence happened without a single read-repair")
+	}
+
+	// Partition a different shard at the router (transport-level, the
+	// shard itself stays healthy): reads must fail over around it.
+	c.part.Block(c.shards[0].url)
+	defer c.part.Heal()
+	for _, id := range acked {
+		if code, body, _ := mustGet(t, base+"/jobs/"+id+"/archive"); code != http.StatusOK {
+			t.Fatalf("acked %s unreadable during partition: %d %s", id, code, body)
+		}
+	}
+	if c.part.Dropped() == 0 {
+		t.Fatal("partition dropped no requests — reads never touched the blocked shard")
+	}
+}
+
+// waitShardHealthy polls a shard's own /healthz until it answers.
+func waitShardHealthy(t *testing.T, shardURL string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(shardURL + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("shard %s did not come back", shardURL)
+}
+
+// missingOn lists the acked jobs a shard cannot export locally.
+func missingOn(cs *clusterShard, ids []string) []string {
+	var missing []string
+	for _, id := range ids {
+		resp, err := http.Get(cs.url + shard.ExportPathPrefix + id)
+		if err != nil {
+			missing = append(missing, id)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			missing = append(missing, id)
+		}
+	}
+	return missing
+}
+
+// TestEmitClusterBenchJSON compares mixed-workload loadtest throughput
+// through the router at 1 shard vs 3 shards and writes the numbers as
+// JSON when BENCH_CLUSTER_OUT names a path. Each shard runs one
+// executor worker over a durable (fsynced) WAL, so per-job service
+// time is commit-latency-bound — the resource sharding actually
+// multiplies — rather than bound by this host's CPU count. CI uploads
+// the file as the BENCH_cluster artifact; EXPERIMENTS.md quotes it.
+func TestEmitClusterBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_CLUSTER_OUT")
+	if path == "" {
+		t.Skip("BENCH_CLUSTER_OUT not set")
+	}
+
+	run := func(shards int) *service.LoadTestResult {
+		c := startCluster(t, clusterConfig{
+			shards: shards, replication: 1, quorum: 1,
+			workers: 1, nosync: false, commitWin: 50 * time.Millisecond,
+		})
+		res, err := service.RunLoadTest(service.LoadTestConfig{
+			BaseURL: c.rts.URL, Jobs: 60, Concurrency: 15,
+			Vertices: 80, Edges: 320, Nodes: 2, ReadRatio: 0.5, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed > 0 {
+			t.Fatalf("%d shards: %d jobs failed during the bench", shards, res.Failed)
+		}
+		return res
+	}
+	one := run(1)
+	three := run(3)
+
+	type point struct {
+		Jobs       int     `json:"jobs"`
+		JobsPerSec float64 `json:"jobs_per_sec"`
+		ReqPerSec  float64 `json:"req_per_sec"`
+		P50Ms      float64 `json:"p50_ms"`
+		P99Ms      float64 `json:"p99_ms"`
+	}
+	mk := func(r *service.LoadTestResult) point {
+		return point{
+			Jobs: r.Jobs, JobsPerSec: r.JobsPerSec, ReqPerSec: r.ReqPerSec,
+			P50Ms: float64(r.P50.Microseconds()) / 1000,
+			P99Ms: float64(r.P99.Microseconds()) / 1000,
+		}
+	}
+	report := struct {
+		Shards1  point                  `json:"shards_1"`
+		Shards3  point                  `json:"shards_3"`
+		Speedup  float64                `json:"jobs_per_sec_speedup"`
+		PerShard []service.ShardLatency `json:"per_shard_3"`
+	}{
+		Shards1: mk(one), Shards3: mk(three),
+		Speedup:  three.JobsPerSec / one.JobsPerSec,
+		PerShard: three.PerShard,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s\n%s", path, data)
+}

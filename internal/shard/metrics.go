@@ -1,0 +1,194 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// histBuckets are the fixed latency-bucket upper bounds (seconds) shared
+// by the router and replication histograms — the same spans as the
+// service's request histogram so dashboards line up.
+var histBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// fixedHistogram is a cumulative fixed-bucket histogram. Callers
+// synchronize access.
+type fixedHistogram struct {
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func newFixedHistogram() *fixedHistogram {
+	return &fixedHistogram{counts: make([]uint64, len(histBuckets))}
+}
+
+func (h *fixedHistogram) observe(v float64) {
+	for i, ub := range histBuckets {
+		if v <= ub {
+			h.counts[i]++
+		}
+	}
+	h.sum += v
+	h.count++
+}
+
+// write renders the histogram under name. labels, when non-empty, is a
+// rendered label-pair prefix (e.g. `shard="s1",`) merged into every
+// sample's label set. The # HELP/# TYPE header is the caller's job when
+// the same metric name is written for several label values.
+func (h *fixedHistogram) write(w io.Writer, name, labels string) {
+	for i, ub := range histBuckets {
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labels, strconv.FormatFloat(ub, 'g', -1, 64), h.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, h.count)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(h.sum, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+	} else {
+		trimmed := labels[:len(labels)-1] // drop the trailing comma
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, trimmed, strconv.FormatFloat(h.sum, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, trimmed, h.count)
+	}
+}
+
+// RouterMetrics is the router's operational counter set, exposed on the
+// router's own /metrics as the granula_router_* family.
+type RouterMetrics struct {
+	mu        sync.Mutex
+	requests  map[string]uint64          // proxied requests by shard
+	failovers map[string]uint64          // requests failed away from a shard
+	latency   map[string]*fixedHistogram // proxy latency by shard
+	repairs   uint64                     // read-repairs dispatched
+	probes    uint64                     // divergence probes issued
+	divergent uint64                     // probes that found divergent ETags
+	exhausted uint64                     // requests that ran out of replicas
+}
+
+// NewRouterMetrics returns an empty router metrics set.
+func NewRouterMetrics() *RouterMetrics {
+	return &RouterMetrics{
+		requests:  map[string]uint64{},
+		failovers: map[string]uint64{},
+		latency:   map[string]*fixedHistogram{},
+	}
+}
+
+func (m *RouterMetrics) countRequest(shard string, seconds float64) {
+	m.mu.Lock()
+	m.requests[shard]++
+	h, ok := m.latency[shard]
+	if !ok {
+		h = newFixedHistogram()
+		m.latency[shard] = h
+	}
+	h.observe(seconds)
+	m.mu.Unlock()
+}
+
+func (m *RouterMetrics) countFailover(shard string) {
+	m.mu.Lock()
+	m.failovers[shard]++
+	m.mu.Unlock()
+}
+
+func (m *RouterMetrics) countRepair() {
+	m.mu.Lock()
+	m.repairs++
+	m.mu.Unlock()
+}
+
+func (m *RouterMetrics) countProbe(divergent bool) {
+	m.mu.Lock()
+	m.probes++
+	if divergent {
+		m.divergent++
+	}
+	m.mu.Unlock()
+}
+
+func (m *RouterMetrics) countExhausted() {
+	m.mu.Lock()
+	m.exhausted++
+	m.mu.Unlock()
+}
+
+// Failovers returns the total requests failed away from any shard.
+func (m *RouterMetrics) Failovers() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, v := range m.failovers {
+		n += v
+	}
+	return n
+}
+
+// Repairs returns the read-repairs dispatched.
+func (m *RouterMetrics) Repairs() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.repairs
+}
+
+// Divergences returns (probes issued, divergent ETags found).
+func (m *RouterMetrics) Divergences() (probes, divergent uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.probes, m.divergent
+}
+
+// WritePrometheus renders the router family in Prometheus text format,
+// shards sorted so the output is byte-deterministic for a given state.
+func (m *RouterMetrics) WritePrometheus(w io.Writer, mapVersion uint64, shards int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP granula_router_shards Shards in the active map.")
+	fmt.Fprintln(w, "# TYPE granula_router_shards gauge")
+	fmt.Fprintf(w, "granula_router_shards %d\n", shards)
+	fmt.Fprintln(w, "# HELP granula_router_map_version Active shard-map version.")
+	fmt.Fprintln(w, "# TYPE granula_router_map_version gauge")
+	fmt.Fprintf(w, "granula_router_map_version %d\n", mapVersion)
+
+	fmt.Fprintln(w, "# HELP granula_router_requests_total Requests proxied to each shard.")
+	fmt.Fprintln(w, "# TYPE granula_router_requests_total counter")
+	for _, id := range sortedKeys(m.requests) {
+		fmt.Fprintf(w, "granula_router_requests_total{shard=%q} %d\n", id, m.requests[id])
+	}
+
+	fmt.Fprintln(w, "# HELP granula_router_failovers_total Requests failed away from a shard to the next replica.")
+	fmt.Fprintln(w, "# TYPE granula_router_failovers_total counter")
+	for _, id := range sortedKeys(m.failovers) {
+		fmt.Fprintf(w, "granula_router_failovers_total{shard=%q} %d\n", id, m.failovers[id])
+	}
+
+	fmt.Fprintln(w, "# HELP granula_router_read_repairs_total Read-repairs dispatched to stale or missing replicas.")
+	fmt.Fprintln(w, "# TYPE granula_router_read_repairs_total counter")
+	fmt.Fprintf(w, "granula_router_read_repairs_total %d\n", m.repairs)
+
+	fmt.Fprintln(w, "# HELP granula_router_divergence_probes_total Background replica ETag comparisons (and how many diverged).")
+	fmt.Fprintln(w, "# TYPE granula_router_divergence_probes_total counter")
+	fmt.Fprintf(w, "granula_router_divergence_probes_total{outcome=\"clean\"} %d\n", m.probes-m.divergent)
+	fmt.Fprintf(w, "granula_router_divergence_probes_total{outcome=\"divergent\"} %d\n", m.divergent)
+
+	fmt.Fprintln(w, "# HELP granula_router_exhausted_total Requests that failed on every replica.")
+	fmt.Fprintln(w, "# TYPE granula_router_exhausted_total counter")
+	fmt.Fprintf(w, "granula_router_exhausted_total %d\n", m.exhausted)
+
+	shardsSorted := make([]string, 0, len(m.latency))
+	for id := range m.latency {
+		shardsSorted = append(shardsSorted, id)
+	}
+	sort.Strings(shardsSorted)
+	fmt.Fprintln(w, "# HELP granula_router_request_seconds Proxy latency by shard.")
+	fmt.Fprintln(w, "# TYPE granula_router_request_seconds histogram")
+	for _, id := range shardsSorted {
+		m.latency[id].write(w, "granula_router_request_seconds", fmt.Sprintf("shard=%q,", id))
+	}
+}

@@ -1,0 +1,280 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Cluster-internal wire protocol. These paths are served by every
+// granula-serve shard (see internal/service) and consumed by the
+// replicator and the router's read-repair; they are not part of the
+// public API.
+const (
+	// ReplicatePath accepts a ReplicaRecord POST and applies it
+	// idempotently (by job ID + version) to the shard's store.
+	ReplicatePath = "/internal/replicate"
+	// ExportPathPrefix + {id} returns the ReplicaRecord for a stored
+	// job, the unit of replication and read-repair.
+	ExportPathPrefix = "/internal/export/"
+	// ClusterPath reports a node's shard identity and map version (on
+	// shards) or the full membership with live health (on the router).
+	ClusterPath = "/cluster"
+	// ShardHeader names the shard that served a proxied response, so
+	// clients (and the loadtest driver's per-shard latency split) can
+	// attribute a response without parsing bodies.
+	ShardHeader = "X-Granula-Shard"
+)
+
+// ReplicaRecord is the unit of replication: one job's persisted payload
+// (the exact bytes the primary wrote to its archivedb, so every replica
+// stores byte-identical records) plus the version that makes replays
+// idempotent — a receiver at version >= Version acks without rewriting.
+type ReplicaRecord struct {
+	ID      string          `json:"id"`
+	Version uint64          `json:"version"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Replicator is the shard-side write fan-out: after a job's archive is
+// durable locally, ReplicateJob pushes the record to the job's other
+// replicas and blocks until the write quorum is met. It is safe for
+// concurrent use.
+type Replicator struct {
+	self    string
+	m       *Map
+	client  *http.Client
+	metrics *ReplMetrics
+}
+
+// ReplicatorOptions tunes NewReplicator; zero values select defaults.
+type ReplicatorOptions struct {
+	// Client issues the replication POSTs; nil selects a client with a
+	// 30 s timeout. Tests swap in partitioned transports here.
+	Client *http.Client
+	// Metrics receives replication counters; nil creates a private set
+	// (still reachable via Metrics()).
+	Metrics *ReplMetrics
+}
+
+// NewReplicator builds the fan-out for one shard (self) over the map.
+func NewReplicator(self string, m *Map, opts ReplicatorOptions) (*Replicator, error) {
+	if _, ok := m.Node(self); !ok {
+		return nil, fmt.Errorf("shard: replicator self %q is not in the map", self)
+	}
+	c := opts.Client
+	if c == nil {
+		c = &http.Client{Timeout: 30 * time.Second}
+	}
+	mt := opts.Metrics
+	if mt == nil {
+		mt = NewReplMetrics()
+	}
+	return &Replicator{self: self, m: m, client: c, metrics: mt}, nil
+}
+
+// Metrics returns the replicator's counters.
+func (r *Replicator) Metrics() *ReplMetrics { return r.metrics }
+
+// QuorumError reports a write that could not reach its quorum: how many
+// acks were collected (the local durable write counts as one) and the
+// per-shard failures.
+type QuorumError struct {
+	Acks   int
+	Quorum int
+	Errs   []string
+}
+
+func (e *QuorumError) Error() string {
+	return fmt.Sprintf("shard: write quorum not reached: %d/%d acks (%s)",
+		e.Acks, e.Quorum, strings.Join(e.Errs, "; "))
+}
+
+// ReplicateJob fans one durable job out to its replica set and returns
+// nil once WriteQuorum acks exist (the caller's local persist is the
+// first ack). Every follower is attempted even after the quorum is met
+// — a healthy cluster converges to R full copies on the write path, not
+// just W — but the call returns as soon as the quorum outcome is known.
+// Followers that miss the write are caught up later by read-repair.
+func (r *Replicator) ReplicateJob(ctx context.Context, id string, version uint64, payload []byte) error {
+	start := time.Now()
+	owners := r.m.Owners(id)
+	followers := make([]Node, 0, len(owners))
+	acks := 1 // the local fsynced persist
+	for _, n := range owners {
+		if n.ID != r.self {
+			followers = append(followers, n)
+		}
+	}
+	need := r.m.WriteQuorum - acks
+	if need <= 0 && len(followers) == 0 {
+		r.metrics.observeQuorum(time.Since(start).Seconds(), true)
+		return nil
+	}
+
+	rec, err := json.Marshal(ReplicaRecord{ID: id, Version: version, Payload: payload})
+	if err != nil {
+		return fmt.Errorf("shard: encode replica %q: %w", id, err)
+	}
+
+	type result struct {
+		node Node
+		err  error
+	}
+	results := make(chan result, len(followers))
+	for _, n := range followers {
+		go func(n Node) {
+			err := r.push(ctx, n, rec)
+			r.metrics.countAck(n.ID, err == nil)
+			results <- result{node: n, err: err}
+		}(n)
+	}
+
+	var errs []string
+	for range followers {
+		res := <-results
+		if res.err == nil {
+			acks++
+		} else {
+			errs = append(errs, fmt.Sprintf("%s: %v", res.node.ID, res.err))
+		}
+		if acks >= r.m.WriteQuorum {
+			// Quorum met. The remaining pushes keep running on their own
+			// goroutines (results is buffered) so healthy followers still
+			// converge; the ack returns now.
+			r.metrics.observeQuorum(time.Since(start).Seconds(), true)
+			return nil
+		}
+	}
+	sort.Strings(errs)
+	r.metrics.observeQuorum(time.Since(start).Seconds(), false)
+	return &QuorumError{Acks: acks, Quorum: r.m.WriteQuorum, Errs: errs}
+}
+
+// push sends one replica record to one follower, retrying once on
+// transport errors (a connection blip is common during shard restarts;
+// anything longer is the quorum's problem).
+func (r *Replicator) push(ctx context.Context, n Node, rec []byte) error {
+	var last error
+	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(50 * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.URL+ReplicatePath, bytes.NewReader(rec))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := r.client.Do(req)
+		if err != nil {
+			last = err
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		last = fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusServiceUnavailable {
+			continue // the follower may be mid-recovery; one more try
+		}
+		return last // 4xx is definitive
+	}
+	return last
+}
+
+// ReplMetrics counts the shard-side replication work; granula-serve
+// appends it to /metrics as the granula_replication_* family.
+type ReplMetrics struct {
+	mu      sync.Mutex
+	acks    map[string]uint64 // follower acks by shard
+	fails   map[string]uint64 // follower failures by shard
+	quorum  *fixedHistogram   // quorum wait in seconds
+	reached uint64
+	missed  uint64
+}
+
+// NewReplMetrics returns an empty replication metrics set.
+func NewReplMetrics() *ReplMetrics {
+	return &ReplMetrics{
+		acks:   map[string]uint64{},
+		fails:  map[string]uint64{},
+		quorum: newFixedHistogram(),
+	}
+}
+
+func (m *ReplMetrics) countAck(shard string, ok bool) {
+	m.mu.Lock()
+	if ok {
+		m.acks[shard]++
+	} else {
+		m.fails[shard]++
+	}
+	m.mu.Unlock()
+}
+
+func (m *ReplMetrics) observeQuorum(seconds float64, reached bool) {
+	m.mu.Lock()
+	m.quorum.observe(seconds)
+	if reached {
+		m.reached++
+	} else {
+		m.missed++
+	}
+	m.mu.Unlock()
+}
+
+// Quorums returns the (reached, missed) quorum outcome counters.
+func (m *ReplMetrics) Quorums() (reached, missed uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reached, m.missed
+}
+
+// WritePrometheus renders the replication family in Prometheus text
+// format, shards sorted so the output is byte-deterministic.
+func (m *ReplMetrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintln(w, "# HELP granula_replication_acks_total Follower replication acks by shard and outcome.")
+	fmt.Fprintln(w, "# TYPE granula_replication_acks_total counter")
+	for _, id := range sortedKeys(m.acks, m.fails) {
+		fmt.Fprintf(w, "granula_replication_acks_total{shard=%q,outcome=\"ok\"} %d\n", id, m.acks[id])
+		fmt.Fprintf(w, "granula_replication_acks_total{shard=%q,outcome=\"error\"} %d\n", id, m.fails[id])
+	}
+	fmt.Fprintln(w, "# HELP granula_replication_quorum_total Write-quorum outcomes.")
+	fmt.Fprintln(w, "# TYPE granula_replication_quorum_total counter")
+	fmt.Fprintf(w, "granula_replication_quorum_total{outcome=\"reached\"} %d\n", m.reached)
+	fmt.Fprintf(w, "granula_replication_quorum_total{outcome=\"missed\"} %d\n", m.missed)
+	fmt.Fprintln(w, "# HELP granula_replication_quorum_seconds Wall-clock from local persist to quorum outcome.")
+	fmt.Fprintln(w, "# TYPE granula_replication_quorum_seconds histogram")
+	m.quorum.write(w, "granula_replication_quorum_seconds", "")
+}
+
+// sortedKeys merges the key sets of both maps, sorted.
+func sortedKeys(ms ...map[string]uint64) []string {
+	set := map[string]bool{}
+	for _, m := range ms {
+		for k := range m {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

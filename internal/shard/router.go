@@ -1,0 +1,623 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxProxyBytes caps proxied request bodies, matching the shards' own
+// submit cap so the router rejects oversized bodies before buffering
+// them toward a shard that would 413 anyway.
+const maxProxyBytes = 1 << 20
+
+// RouterOptions tunes NewRouter; zero values select defaults.
+type RouterOptions struct {
+	// Client issues the proxied requests; nil selects a 60 s timeout
+	// client. Tests swap in partitioned transports here.
+	Client *http.Client
+	// Metrics receives the granula_router_* counters; nil creates a
+	// private set (still reachable via Metrics()).
+	Metrics *RouterMetrics
+	// RepairEvery issues a background replica-divergence probe on every
+	// Nth successful job read: the served ETag is revalidated against
+	// another replica and divergent or missing records are repaired from
+	// the newer side. 0 disables probing (failover-triggered repair
+	// still runs).
+	RepairEvery int
+	// HealthTimeout bounds the per-shard /healthz probes behind /cluster
+	// and /healthz; 0 selects 1 s.
+	HealthTimeout time.Duration
+}
+
+// Router is the thin stateless front of a granula-serve cluster: it
+// consistent-hashes job IDs onto the shard map's replica sets, proxies
+// submits to the primary (failing over down the replica list), spreads
+// job reads across replicas (follower reads, so each shard's
+// generation-keyed response cache keeps its hit rate), and repairs
+// replicas that miss records or diverge. All routing state is derived
+// from the static map — the router holds no per-job state and any
+// number of router instances can front the same shards.
+type Router struct {
+	m       *Map
+	client  *http.Client
+	metrics *RouterMetrics
+	repairN int
+	healthT time.Duration
+	repairT time.Duration // background probe/repair deadline
+	handler http.Handler
+
+	rr    atomic.Uint64 // follower-read rotation
+	seq   atomic.Uint64 // router-assigned job IDs
+	reads atomic.Uint64 // successful job reads, for RepairEvery
+
+	repairWG sync.WaitGroup
+}
+
+// NewRouter builds a router over a validated shard map.
+func NewRouter(m *Map, opts RouterOptions) *Router {
+	c := opts.Client
+	if c == nil {
+		c = &http.Client{Timeout: 60 * time.Second}
+	}
+	mt := opts.Metrics
+	if mt == nil {
+		mt = NewRouterMetrics()
+	}
+	ht := opts.HealthTimeout
+	if ht <= 0 {
+		ht = time.Second
+	}
+	// Background probes and repairs run without a request context, so
+	// they need their own deadline. The client's Timeout is the natural
+	// bound, but a caller-supplied client may leave it 0 (unbounded) —
+	// which must not become a zero-length repair deadline.
+	repairT := c.Timeout
+	if repairT <= 0 {
+		repairT = 60 * time.Second
+	}
+	rt := &Router{m: m, client: c, metrics: mt, repairN: opts.RepairEvery, healthT: ht, repairT: repairT}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", rt.handleSubmit)
+	mux.HandleFunc("GET /jobs", rt.handleList)
+	mux.HandleFunc("GET /jobs/{id}", rt.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", rt.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/archive", rt.handleRead)
+	mux.HandleFunc("GET /jobs/{id}/query", rt.handleRead)
+	mux.HandleFunc("GET /jobs/{id}/viz/{kind}", rt.handleRead)
+	mux.HandleFunc("POST /diff", rt.handleDiff)
+	mux.HandleFunc("GET "+ClusterPath, rt.handleCluster)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.handler = mux
+	return rt
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// Metrics returns the router's counters.
+func (rt *Router) Metrics() *RouterMetrics { return rt.metrics }
+
+// Map returns the active shard map.
+func (rt *Router) Map() *Map { return rt.m }
+
+// WaitRepairs blocks until every dispatched background repair and
+// divergence probe has finished; tests use it to assert repair effects
+// deterministically.
+func (rt *Router) WaitRepairs() { rt.repairWG.Wait() }
+
+// writeRouterError emits the same JSON error envelope the shards use.
+func writeRouterError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", fmt.Sprintf(format, args...))
+}
+
+// proxyResult is one shard's answer to a forwarded request.
+type proxyResult struct {
+	node   Node
+	status int
+	header http.Header
+	body   []byte
+	err    error // transport-level failure; status/header/body are unset
+}
+
+// forward issues one proxied request to one shard and buffers the
+// response. Request latency is recorded against the shard either way.
+func (rt *Router) forward(ctx context.Context, n Node, method, pathq string, body []byte, hdr http.Header) proxyResult {
+	start := time.Now()
+	defer func() { rt.metrics.countRequest(n.ID, time.Since(start).Seconds()) }()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, n.URL+pathq, rd)
+	if err != nil {
+		return proxyResult{node: n, err: err}
+	}
+	for _, k := range []string{"Content-Type", "If-None-Match", "Accept"} {
+		if v := hdr.Get(k); v != "" {
+			req.Header.Set(k, v)
+		}
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return proxyResult{node: n, err: err}
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return proxyResult{node: n, err: err}
+	}
+	return proxyResult{node: n, status: resp.StatusCode, header: resp.Header, body: buf}
+}
+
+// writeProxied relays one shard response to the client, stamping the
+// serving shard. Bodies pass through untouched — the cluster's
+// byte-determinism contract is that these are exactly the bytes a
+// single-node granula-serve would have written.
+func (rt *Router) writeProxied(w http.ResponseWriter, res proxyResult) {
+	for _, k := range []string{"Content-Type", "ETag", "Retry-After"} {
+		if v := res.header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.Header().Set(ShardHeader, res.node.ID)
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// definitive reports whether a result should be returned to the client
+// as-is rather than failed over: any HTTP response below 500 that is
+// not a 404/409 miss, plus — pastMisses — the misses themselves.
+func retriableStatus(status int) bool {
+	return status >= 500 || status == http.StatusNotFound || status == http.StatusConflict
+}
+
+// tryOwners forwards the request to owners in order until one returns a
+// non-retriable response. Retriable results (transport errors, 5xx, and
+// — when failoverMisses — 404/409 from replicas that may simply not
+// hold the record yet) fail over to the next owner and are counted
+// against the shard that failed. When a later owner serves a 2xx after
+// an earlier one answered 404, the missing replica is queued for
+// read-repair. If every owner fails, the least-bad response is
+// returned: a definitive client error beats a 5xx beats a transport
+// error. onServe, when non-nil, observes the result that was served
+// successfully.
+func (rt *Router) tryOwners(w http.ResponseWriter, r *http.Request, owners []Node, method, pathq string, body []byte, failoverMisses bool, onServe func(proxyResult)) {
+	var (
+		best      *proxyResult // least-bad failed answer
+		missed404 []Node       // owners that answered 404, repair targets
+	)
+	rank := func(res proxyResult) int {
+		switch {
+		case res.err != nil:
+			return 0
+		case res.status >= 500:
+			return 1
+		default:
+			return 2 // definitive HTTP answer (e.g. 404 everywhere)
+		}
+	}
+	for _, n := range owners {
+		res := rt.forward(r.Context(), n, method, pathq, body, r.Header)
+		retry := res.err != nil || res.status >= 500 ||
+			(failoverMisses && retriableStatus(res.status))
+		if res.err == nil && res.status == http.StatusNotModified {
+			// 304 is a success: the shard validated the client's ETag.
+			retry = false
+		}
+		if !retry {
+			if res.status < 300 && len(missed404) > 0 {
+				rt.scheduleRepairs(r.PathValue("id"), res.node, missed404)
+			}
+			if onServe != nil {
+				onServe(res)
+			}
+			rt.writeProxied(w, res)
+			return
+		}
+		if res.err == nil && res.status == http.StatusNotFound {
+			missed404 = append(missed404, n)
+		}
+		rt.metrics.countFailover(n.ID)
+		if best == nil || rank(res) > rank(*best) {
+			cp := res
+			best = &cp
+		}
+	}
+	rt.metrics.countExhausted()
+	if best == nil || best.err != nil {
+		writeRouterError(w, http.StatusBadGateway, "no shard reachable for %s %s", method, pathq)
+		return
+	}
+	rt.writeProxied(w, *best)
+}
+
+// handleSubmit routes POST /jobs to the job's primary, failing over
+// down the replica set when the primary is unreachable or degraded. A
+// request without an ID gets a router-assigned one first — placement
+// needs the ID before any shard sees the request.
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if ok := isMaxBytes(err, &tooBig); ok {
+			writeRouterError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeRouterError(w, http.StatusBadRequest, "read request: %v", err)
+		return
+	}
+	var peek struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		writeRouterError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if peek.ID == "" {
+		// Rewrite the body with an assigned ID. The roundtrip through a
+		// generic map keeps every client field; the shards re-validate.
+		var fields map[string]any
+		if err := json.Unmarshal(body, &fields); err != nil {
+			writeRouterError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		peek.ID = fmt.Sprintf("job-r%06d", rt.seq.Add(1))
+		fields["id"] = peek.ID
+		if body, err = json.Marshal(fields); err != nil {
+			writeRouterError(w, http.StatusInternalServerError, "rewrite request: %v", err)
+			return
+		}
+	}
+	owners := rt.m.Owners(peek.ID)
+	rt.tryOwners(w, r, owners, http.MethodPost, "/jobs", body, false, nil)
+}
+
+func isMaxBytes(err error, target **http.MaxBytesError) bool {
+	mbe, ok := err.(*http.MaxBytesError)
+	if ok {
+		*target = mbe
+	}
+	return ok
+}
+
+// handleStatus routes GET /jobs/{id} primary-first: the primary's
+// executor holds the authoritative lifecycle state; replicas answer
+// from their store fallback when the primary is down.
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt.tryOwners(w, r, rt.m.Owners(id), http.MethodGet, "/jobs/"+id, nil, true, nil)
+}
+
+// handleCancel routes DELETE /jobs/{id} primary-first; only the shard
+// whose executor queued the job can cancel it.
+func (rt *Router) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt.tryOwners(w, r, rt.m.Owners(id), http.MethodDelete, "/jobs/"+id, nil, true, nil)
+}
+
+// handleRead serves the job-scoped read endpoints (/archive, /query,
+// /viz/*) with follower reads: the replica set is rotated per request
+// so every replica's response cache stays warm and read throughput
+// scales with R, with failover (and repair of 404 replicas) when the
+// chosen follower misses. Every RepairEvery-th successful read also
+// revalidates the served ETag against another replica in the
+// background, catching divergence that failover alone would not
+// surface.
+func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	owners := rt.m.Owners(id)
+	if len(owners) > 1 {
+		start := int(rt.rr.Add(1)) % len(owners)
+		rotated := make([]Node, 0, len(owners))
+		rotated = append(rotated, owners[start:]...)
+		rotated = append(rotated, owners[:start]...)
+		owners = rotated
+	}
+	pathq := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathq += "?" + r.URL.RawQuery
+	}
+
+	// Divergence probe bookkeeping happens before the response is
+	// written so the probe sees exactly what was served.
+	probe := rt.repairN > 0 && len(owners) > 1 && rt.reads.Add(1)%uint64(rt.repairN) == 0
+
+	var served *proxyResult
+	rt.tryOwners(w, r, owners, http.MethodGet, pathq, nil, true, func(res proxyResult) { served = &res })
+	if probe && served != nil && served.status == http.StatusOK {
+		etag := served.header.Get("ETag")
+		if etag != "" {
+			other := rt.otherOwner(owners, served.node)
+			if other.ID != "" {
+				rt.repairWG.Add(1)
+				go rt.probeDivergence(id, pathq, etag, served.node, other)
+			}
+		}
+	}
+}
+
+// otherOwner picks the replica after served in the set, for probing.
+func (rt *Router) otherOwner(owners []Node, served Node) Node {
+	for i, n := range owners {
+		if n.ID == served.ID {
+			return owners[(i+1)%len(owners)]
+		}
+	}
+	if len(owners) > 0 {
+		return owners[0]
+	}
+	return Node{}
+}
+
+// probeDivergence revalidates a served ETag against another replica. A
+// 304 means the replicas agree byte-for-byte. A 200 with a different
+// ETag, or a 404, means the replica diverged (stale version or missing
+// record) and a version-directed repair is dispatched.
+func (rt *Router) probeDivergence(id, pathq, etag string, served, other Node) {
+	defer rt.repairWG.Done()
+	ctx, cancel := context.WithTimeout(context.Background(), rt.repairT)
+	defer cancel()
+	hdr := http.Header{}
+	hdr.Set("If-None-Match", etag)
+	res := rt.forward(ctx, other, http.MethodGet, pathq, nil, hdr)
+	if res.err != nil {
+		rt.metrics.countProbe(false)
+		return
+	}
+	divergent := res.status == http.StatusNotFound ||
+		(res.status == http.StatusOK && res.header.Get("ETag") != etag)
+	rt.metrics.countProbe(divergent)
+	if divergent {
+		rt.repairPair(id, served, other)
+	}
+}
+
+// scheduleRepairs queues background repairs pushing id's record from
+// the shard that served it to every replica that answered 404.
+func (rt *Router) scheduleRepairs(id string, from Node, missing []Node) {
+	if id == "" {
+		return
+	}
+	for _, n := range missing {
+		rt.repairWG.Add(1)
+		go func(n Node) {
+			defer rt.repairWG.Done()
+			rt.repairPair(id, from, n)
+		}(n)
+	}
+}
+
+// repairPair converges two replicas on a job record: it exports the
+// record from both sides and pushes the newer version to the older (or
+// the only copy to the empty side). The replicate endpoint is
+// idempotent by (ID, version), so racing repairs and replication
+// retries are harmless.
+func (rt *Router) repairPair(id string, a, b Node) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.repairT)
+	defer cancel()
+	exA, okA := rt.export(ctx, a, id)
+	exB, okB := rt.export(ctx, b, id)
+	switch {
+	case okA && (!okB || exA.Version > exB.Version):
+		rt.pushRepair(ctx, b, exA)
+	case okB && (!okA || exB.Version > exA.Version):
+		rt.pushRepair(ctx, a, exB)
+	}
+}
+
+// export fetches a shard's replica record for id.
+func (rt *Router) export(ctx context.Context, n Node, id string) (ReplicaRecord, bool) {
+	res := rt.forward(ctx, n, http.MethodGet, ExportPathPrefix+id, nil, http.Header{})
+	if res.err != nil || res.status != http.StatusOK {
+		return ReplicaRecord{}, false
+	}
+	var rec ReplicaRecord
+	if err := json.Unmarshal(res.body, &rec); err != nil {
+		return ReplicaRecord{}, false
+	}
+	return rec, true
+}
+
+// pushRepair replicates a record onto a shard and counts the repair.
+func (rt *Router) pushRepair(ctx context.Context, n Node, rec ReplicaRecord) {
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "application/json")
+	res := rt.forward(ctx, n, http.MethodPost, ReplicatePath, buf, hdr)
+	if res.err == nil && res.status == http.StatusOK {
+		rt.metrics.countRepair()
+	}
+}
+
+// handleList fans GET /jobs out to every shard and merges the states
+// sorted by job ID. Unreachable shards are skipped — the merged listing
+// is the union of the live shards' views and carries a header naming
+// any shard that did not answer.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	type shardList struct {
+		node Node
+		jobs []json.RawMessage
+		err  error
+	}
+	results := make([]shardList, len(rt.m.Shards))
+	var wg sync.WaitGroup
+	for i, n := range rt.m.Shards {
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			res := rt.forward(r.Context(), n, http.MethodGet, "/jobs", nil, r.Header)
+			if res.err != nil || res.status != http.StatusOK {
+				results[i] = shardList{node: n, err: fmt.Errorf("unreachable")}
+				return
+			}
+			var lr struct {
+				Jobs []json.RawMessage `json:"jobs"`
+			}
+			if err := json.Unmarshal(res.body, &lr); err != nil {
+				results[i] = shardList{node: n, err: err}
+				return
+			}
+			results[i] = shardList{node: n, jobs: lr.Jobs}
+		}(i, n)
+	}
+	wg.Wait()
+
+	type keyed struct {
+		id  string
+		raw json.RawMessage
+	}
+	var all []keyed
+	var down []string
+	for _, res := range results {
+		if res.err != nil {
+			down = append(down, res.node.ID)
+			continue
+		}
+		for _, raw := range res.jobs {
+			var peek struct {
+				ID string `json:"id"`
+			}
+			json.Unmarshal(raw, &peek)
+			all = append(all, keyed{id: peek.ID, raw: raw})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	jobs := make([]json.RawMessage, 0, len(all))
+	for _, k := range all {
+		jobs = append(jobs, k.raw)
+	}
+	if len(down) > 0 {
+		sort.Strings(down)
+		w.Header()["X-Granula-Shards-Down"] = []string{fmt.Sprint(down)}
+	}
+	out := struct {
+		Count int               `json:"count"`
+		Jobs  []json.RawMessage `json:"jobs"`
+	}{Count: len(jobs), Jobs: jobs}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		writeRouterError(w, http.StatusInternalServerError, "merge listings: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(buf, '\n'))
+}
+
+// handleDiff routes POST /diff to the baseline job's primary. Both jobs
+// must live on that shard's replica set — with R >= 2 most pairs do;
+// cross-shard pairs answer 404 from the owning shard and are documented
+// as a router limitation.
+func (rt *Router) handleDiff(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBytes))
+	if err != nil {
+		writeRouterError(w, http.StatusBadRequest, "read request: %v", err)
+		return
+	}
+	var peek struct {
+		BaselineID string `json:"baselineId"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		writeRouterError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if peek.BaselineID == "" {
+		writeRouterError(w, http.StatusBadRequest, "diff request needs a baselineId")
+		return
+	}
+	rt.tryOwners(w, r, rt.m.Owners(peek.BaselineID), http.MethodPost, "/diff", body, false, nil)
+}
+
+// shardHealth is one shard's row in the router's /cluster view.
+type shardHealth struct {
+	ID     string          `json:"id"`
+	URL    string          `json:"url"`
+	Status string          `json:"status"` // up | down
+	Health json.RawMessage `json:"health,omitempty"`
+}
+
+// clusterView is the router's /cluster response: the full map plus live
+// per-shard health.
+type clusterView struct {
+	Mode   string        `json:"mode"`
+	Map    *Map          `json:"map"`
+	Shards []shardHealth `json:"shards"`
+}
+
+// probeShards polls every shard's /healthz concurrently.
+func (rt *Router) probeShards(ctx context.Context) []shardHealth {
+	ctx, cancel := context.WithTimeout(ctx, rt.healthT)
+	defer cancel()
+	out := make([]shardHealth, len(rt.m.Shards))
+	var wg sync.WaitGroup
+	for i, n := range rt.m.Shards {
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			sh := shardHealth{ID: n.ID, URL: n.URL, Status: "down"}
+			res := rt.forward(ctx, n, http.MethodGet, "/healthz", nil, http.Header{})
+			if res.err == nil && res.status == http.StatusOK && json.Valid(res.body) {
+				sh.Status = "up"
+				sh.Health = res.body
+			}
+			out[i] = sh
+		}(i, n)
+	}
+	wg.Wait()
+	return out
+}
+
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	view := clusterView{Mode: "router", Map: rt.m, Shards: rt.probeShards(r.Context())}
+	buf, err := json.MarshalIndent(view, "", "  ")
+	if err != nil {
+		writeRouterError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(buf, '\n'))
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	shards := rt.probeShards(r.Context())
+	up := 0
+	for _, s := range shards {
+		if s.Status == "up" {
+			up++
+		}
+	}
+	status := "ok"
+	if up < len(shards) {
+		status = "degraded"
+	}
+	if up == 0 {
+		status = "down"
+	}
+	out := struct {
+		Status     string `json:"status"`
+		Shards     int    `json:"shards"`
+		Reachable  int    `json:"reachable"`
+		MapVersion uint64 `json:"mapVersion"`
+	}{Status: status, Shards: len(shards), Reachable: up, MapVersion: rt.m.Version}
+	buf, _ := json.MarshalIndent(out, "", "  ")
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(buf, '\n'))
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.metrics.WritePrometheus(w, rt.m.Version, len(rt.m.Shards))
+}
