@@ -20,8 +20,19 @@
 //	GET    /jobs/{id}/query       ?q= (query language) or ?mission= / ?actor= / ?path= (indexed)
 //	GET    /jobs/{id}/viz/{kind}  breakdown|cpu|gantt (SVG), tree (text), report (HTML)
 //	POST   /diff                  regression verdicts between two stored jobs
+//	POST   /ingest/{id}           append a batch of live events (JSON lines) for an external job
+//	GET    /watch/{id}            SSE tail of a live job (Last-Event-ID resume, ?window= aggregation)
 //	GET    /healthz               liveness + coarse load
 //	GET    /metrics               Prometheus text format (incl. storage gauges with -data-dir)
+//
+// Live streaming: jobs running outside the server push their platform
+// -log events through POST /ingest/{id} while they run (sequenced,
+// idempotent, durable before each ack); in-process jobs stream their
+// own supersteps automatically. Either way GET /watch/{id} tails the
+// job over SSE and /jobs/{id}/query answers over the partial archive.
+// When the stream seals, the assembled archive is byte-identical to a
+// batch run over the same records. See the README's "Watching live
+// jobs" section.
 //
 // With -loadtest N the command instead starts an in-process server on a
 // loopback port, hammers it with N concurrent jobs plus archive reads,
@@ -60,6 +71,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/service"
 	"repro/internal/shard"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -90,6 +102,9 @@ type serveConfig struct {
 	replication  int
 	quorum       int
 	mapVersion   uint64
+	streamRatio  float64
+	maxLiveJobs  int
+	heartbeat    time.Duration
 }
 
 // parseFlags parses args into a serveConfig without touching globals,
@@ -120,6 +135,9 @@ func parseFlags(args []string, stderr io.Writer) (*serveConfig, error) {
 	fs.IntVar(&cfg.replication, "replication", 0, "cluster: replicas per job incl. the primary (0 = all shards)")
 	fs.IntVar(&cfg.quorum, "quorum", 0, "cluster: write-quorum acks before a job is done (0 = majority of the replica set)")
 	fs.Uint64Var(&cfg.mapVersion, "map-version", 1, "cluster: shard-map version echoed on /cluster and /healthz")
+	fs.Float64Var(&cfg.streamRatio, "stream-ratio", 0, "loadtest: fraction of jobs streamed through /ingest with a concurrent /watch tail, in [0,1]; reports ingest events/s and tail latency")
+	fs.IntVar(&cfg.maxLiveJobs, "max-live-jobs", 0, "bound on concurrently streaming jobs before /ingest sheds with 429 (0 = 256)")
+	fs.DurationVar(&cfg.heartbeat, "watch-heartbeat", 0, "idle /watch connections get an SSE comment at this period (0 = 15s)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -130,6 +148,10 @@ func parseFlags(args []string, stderr io.Writer) (*serveConfig, error) {
 	if cfg.readRatio < 0 || cfg.readRatio >= 1 {
 		fmt.Fprintf(stderr, "granula-serve: -read-ratio %v outside [0,1)\n", cfg.readRatio)
 		return nil, fmt.Errorf("bad read ratio")
+	}
+	if cfg.streamRatio < 0 || cfg.streamRatio > 1 {
+		fmt.Fprintf(stderr, "granula-serve: -stream-ratio %v outside [0,1]\n", cfg.streamRatio)
+		return nil, fmt.Errorf("bad stream ratio")
 	}
 	if cfg.commitWindow < 0 {
 		fmt.Fprintf(stderr, "granula-serve: -commit-window must be >= 0\n")
@@ -209,12 +231,20 @@ func run(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "granula-serve: data dir %s (%d archived jobs restored)\n",
 			cfg.dataDir, store.Len())
 	}
+	// One stream manager shared by the executor (in-process jobs mirror
+	// their supersteps into it) and the server (/ingest and /watch).
+	streams := stream.NewManager(stream.Config{MaxLiveJobs: cfg.maxLiveJobs})
 	execOpts := service.ExecutorOptions{
 		Faults:          inj,
 		DefaultTimeout:  cfg.jobTimeout,
 		HostParallelism: cfg.parallelism,
+		Streams:         streams,
 	}
-	srvOpts := service.ServerOptions{Faults: inj}
+	srvOpts := service.ServerOptions{
+		Faults:         inj,
+		Streams:        streams,
+		WatchHeartbeat: cfg.heartbeat,
+	}
 	if cfg.peers != "" {
 		nodes, err := shard.ParseNodes(cfg.peers)
 		if err != nil {
@@ -342,6 +372,7 @@ func runLoadTest(srv *service.Server, exec *service.Executor, cfg *serveConfig, 
 		Concurrency:   cfg.concurrency,
 		ReadRatio:     cfg.readRatio,
 		QueryVariants: cfg.queries,
+		StreamRatio:   cfg.streamRatio,
 		Out:           stderr,
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)

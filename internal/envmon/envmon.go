@@ -58,9 +58,17 @@ type Monitor struct {
 	cluster  *cluster.Cluster
 	interval float64
 	samples  []Sample
+	sink     func(Sample)
 	stopped  bool
 	done     *sim.Event
 }
+
+// SetSink registers a callback invoked synchronously for every sample
+// recorded after the call, in record order. The sampling process only
+// runs while the simulation engine runs, so setting the sink between
+// Start and the engine run observes every sample. A nil sink disables
+// the callback.
+func (m *Monitor) SetSink(sink func(Sample)) { m.sink = sink }
 
 // Start spawns the monitoring process on the cluster's engine, sampling
 // every interval simulated seconds until Stop is called. The first sample
@@ -105,9 +113,11 @@ func (m *Monitor) run(p *sim.Proc) {
 		t := p.Now()
 		for _, g := range gauges {
 			cur := g.res.Consumed()
-			m.samples = append(m.samples, Sample{
-				Time: t, Node: g.node, Kind: g.kind, Used: cur - g.last,
-			})
+			s := Sample{Time: t, Node: g.node, Kind: g.kind, Used: cur - g.last}
+			m.samples = append(m.samples, s)
+			if m.sink != nil {
+				m.sink(s)
+			}
 			g.last = cur
 		}
 	}

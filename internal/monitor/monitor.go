@@ -138,6 +138,13 @@ type Session struct {
 	// JobID and Platform label the archive job.
 	JobID    string
 	Platform string
+	// RecordSink, when non-nil, observes every platform-log record as it
+	// is emitted during Run, before assembly. SampleSink likewise
+	// observes every environment sample. Both are invoked synchronously
+	// from the simulation; they let live observers tail a running job
+	// without altering what Run assembles.
+	RecordSink func(trace.Record)
+	SampleSink func(envmon.Sample)
 }
 
 // Run executes body as a simulated process with an emitter bound to this
@@ -150,8 +157,14 @@ func (s *Session) Run(body func(p *sim.Proc, em *trace.Emitter) error) (*archive
 	}
 	eng := s.Cluster.Engine()
 	log := trace.NewLog()
+	if s.RecordSink != nil {
+		log.SetSink(s.RecordSink)
+	}
 	em := trace.NewEmitter(log, s.JobID, eng.Now)
 	mon := envmon.Start(s.Cluster, s.SampleInterval)
+	if s.SampleSink != nil {
+		mon.SetSink(s.SampleSink)
+	}
 	var bodyErr error
 	eng.Spawn("granula-session", func(p *sim.Proc) {
 		bodyErr = body(p, em)

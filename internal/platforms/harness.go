@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dfs"
+	"repro/internal/envmon"
 	"repro/internal/gas"
 	"repro/internal/graph"
 	"repro/internal/metrics"
@@ -69,6 +70,11 @@ type Spec struct {
 	// HDFS overrides the Giraph deployment's filesystem configuration
 	// when non-nil (e.g. for replication/locality ablations).
 	HDFS *dfs.HDFSConfig
+	// RecordSink and SampleSink, when non-nil, observe every platform-log
+	// record and environment sample live as the simulation emits them
+	// (see monitor.Session). They do not change the assembled archive.
+	RecordSink func(trace.Record)
+	SampleSink func(envmon.Sample)
 }
 
 // Output is a completed, analyzed run.
@@ -223,6 +229,8 @@ func runGiraph(ctx context.Context, spec Spec) (*Output, error) {
 		SampleInterval: spec.SampleInterval,
 		JobID:          spec.JobID,
 		Platform:       "Giraph",
+		RecordSink:     spec.RecordSink,
+		SampleSink:     spec.SampleSink,
 	}
 	var res *pregel.Result
 	job, err := session.Run(func(p *sim.Proc, em *trace.Emitter) error {
@@ -273,6 +281,8 @@ func runPowerGraph(ctx context.Context, spec Spec) (*Output, error) {
 		SampleInterval: spec.SampleInterval,
 		JobID:          spec.JobID,
 		Platform:       "PowerGraph",
+		RecordSink:     spec.RecordSink,
+		SampleSink:     spec.SampleSink,
 	}
 	var res *gas.Result
 	job, err := session.Run(func(p *sim.Proc, em *trace.Emitter) error {
@@ -318,6 +328,8 @@ func runSingleNode(ctx context.Context, spec Spec) (*Output, error) {
 		SampleInterval: spec.SampleInterval,
 		JobID:          spec.JobID,
 		Platform:       "OpenG",
+		RecordSink:     spec.RecordSink,
+		SampleSink:     spec.SampleSink,
 	}
 	var res *single.Result
 	job, err := session.Run(func(p *sim.Proc, em *trace.Emitter) error {

@@ -1,0 +1,72 @@
+package query
+
+import (
+	"sync"
+
+	"repro/internal/archive"
+)
+
+// AppendColumns is the incremental counterpart of BuildColumns for live
+// jobs: completed operations are appended one at a time as a streaming
+// job runs, and Snapshot hands out an immutable point-in-time Columns
+// view that Query.SelectColumns evaluates without rebuilding anything.
+//
+// Row order is arrival (completion) order, not the depth-first order
+// BuildColumns produces — a live job's tree is still growing, so there
+// is no final DFS order to use yet. Live query results therefore come
+// back in completion order; the sealed archive entering the store is
+// re-indexed with BuildColumns, which restores the canonical DFS order
+// (the seal-equivalence suite pins that the two agree byte for byte on
+// the finished tree).
+//
+// Concurrency: Append and Snapshot are safe to call concurrently. A
+// snapshot copies only slice headers (O(1)); appends after the snapshot
+// either write past the snapshot's length or reallocate the backing
+// array, so rows a snapshot can reach are never rewritten. The symbol
+// table's intern map is touched only under the writer lock.
+type AppendColumns struct {
+	mu   sync.Mutex
+	cols Columns
+}
+
+// NewAppendColumns returns an empty incremental column set.
+func NewAppendColumns() *AppendColumns {
+	return &AppendColumns{cols: Columns{syms: symtab{ids: map[string]uint32{}}}}
+}
+
+// Append adds one completed operation at the given tree depth.
+func (a *AppendColumns) Append(op *archive.Operation, depth int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := &a.cols
+	c.ops = append(c.ops, op)
+	c.depth = append(c.depth, int32(depth))
+	c.start = append(c.start, op.Start)
+	c.end = append(c.end, op.End)
+	c.dur = append(c.dur, op.Duration())
+	c.mission = append(c.mission, c.syms.intern(op.Mission))
+	c.actor = append(c.actor, c.syms.intern(op.Actor))
+	c.id = append(c.id, c.syms.intern(op.ID))
+}
+
+// Rows returns the number of operations appended so far.
+func (a *AppendColumns) Rows() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.cols.ops)
+}
+
+// Snapshot returns an immutable view of the columns appended so far.
+// The view is safe to query concurrently with further appends; it never
+// observes rows appended after the call.
+func (a *AppendColumns) Snapshot() *Columns {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Copy the struct: slice headers are value copies pinned at the
+	// current length, so later appends (in place past len, or after a
+	// reallocation) are invisible to the snapshot. Symbol IDs referenced
+	// by the copied rows all precede the copied symtab lengths.
+	snap := a.cols
+	snap.syms.ids = nil // readers never consult the intern map
+	return &snap
+}

@@ -1,0 +1,228 @@
+package query
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/archive"
+)
+
+// flattenDFS returns (op, depth) pairs in the depth-first order
+// BuildColumns uses.
+type opDepth struct {
+	op    *archive.Operation
+	depth int
+}
+
+func flattenDFS(job *archive.Job) []opDepth {
+	var out []opDepth
+	var walk func(op *archive.Operation, d int)
+	walk = func(op *archive.Operation, d int) {
+		out = append(out, opDepth{op, d})
+		for _, ch := range op.Children {
+			walk(ch, d+1)
+		}
+	}
+	if job != nil && job.Root != nil {
+		walk(job.Root, 0)
+	}
+	return out
+}
+
+// requireColumnsIdentical asserts two column sets are byte-identical:
+// same rows (pointer-identical ops), same typed values, and the same
+// interned symbol table.
+func requireColumnsIdentical(t *testing.T, want, got *Columns) {
+	t.Helper()
+	if len(want.ops) != len(got.ops) {
+		t.Fatalf("rows: want %d, got %d", len(want.ops), len(got.ops))
+	}
+	for i := range want.ops {
+		if want.ops[i] != got.ops[i] {
+			t.Fatalf("row %d: different operation (%q vs %q)", i, want.ops[i].ID, got.ops[i].ID)
+		}
+		if want.depth[i] != got.depth[i] || want.start[i] != got.start[i] ||
+			want.end[i] != got.end[i] || want.dur[i] != got.dur[i] ||
+			want.mission[i] != got.mission[i] || want.actor[i] != got.actor[i] ||
+			want.id[i] != got.id[i] {
+			t.Fatalf("row %d: column values differ", i)
+		}
+	}
+	if len(want.syms.strs) != len(got.syms.strs) {
+		t.Fatalf("symtab: want %d symbols, got %d", len(want.syms.strs), len(got.syms.strs))
+	}
+	for s := range want.syms.strs {
+		if want.syms.strs[s] != got.syms.strs[s] || want.syms.finite[s] != got.syms.finite[s] {
+			t.Fatalf("symbol %d differs: %q vs %q", s, want.syms.strs[s], got.syms.strs[s])
+		}
+		if want.syms.finite[s] && want.syms.floats[s] != got.syms.floats[s] {
+			t.Fatalf("symbol %d float differs", s)
+		}
+	}
+}
+
+// TestAppendColumnsDFSOrderEqualsBuild pins the seal-equivalence
+// property at the column layer: appending a finished tree's operations
+// in depth-first order produces columns identical — rows, typed values,
+// and symbol table — to a from-scratch BuildColumns.
+func TestAppendColumnsDFSOrderEqualsBuild(t *testing.T) {
+	jobs := []*archive.Job{testJob(), weirdJob(), randomJob(rand.New(rand.NewSource(7)), 300)}
+	for _, job := range jobs {
+		ac := NewAppendColumns()
+		for _, od := range flattenDFS(job) {
+			ac.Append(od.op, od.depth)
+		}
+		requireColumnsIdentical(t, BuildColumns(job), ac.Snapshot())
+	}
+}
+
+// appendOracleSelect mirrors the tree walker's semantics over an
+// explicit (op, depth) arrival order: filter with the parsed predicate,
+// stable-sort with fieldValue/compareValues, truncate to the limit.
+func appendOracleSelect(q *Query, rows []opDepth) []*archive.Operation {
+	var kept []opDepth
+	for _, od := range rows {
+		if q.where == nil || q.where.eval(od.op, od.depth) {
+			kept = append(kept, od)
+		}
+	}
+	if q.orderBy != "" {
+		key := func(od opDepth) string {
+			s, _ := fieldValue(od.op, od.depth, q.orderBy)
+			return s
+		}
+		sort.SliceStable(kept, func(i, j int) bool {
+			c := compareValues(key(kept[i]), key(kept[j]))
+			if q.desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	out := make([]*archive.Operation, len(kept))
+	for i, od := range kept {
+		out[i] = od.op
+	}
+	if q.limit >= 0 && len(out) > q.limit {
+		out = out[:q.limit]
+	}
+	return out
+}
+
+// TestAppendColumnsCompletionOrderOracle runs every oracle query over
+// columns appended in a shuffled (completion-like) order and checks
+// SelectColumns against an independent reimplementation of the tree
+// walker's semantics over that same arrival order. This is the live
+// /query contract: completed operations, arrival order, identical
+// predicate and sort semantics.
+func TestAppendColumnsCompletionOrderOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, job := range []*archive.Job{testJob(), weirdJob(), randomJob(rng, 200)} {
+		rows := flattenDFS(job)
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		ac := NewAppendColumns()
+		for _, od := range rows {
+			ac.Append(od.op, od.depth)
+		}
+		snap := ac.Snapshot()
+		for _, qs := range oracleQueries {
+			q, err := Parse(qs)
+			if err != nil {
+				t.Fatalf("parse %q: %v", qs, err)
+			}
+			assertSameOps(t, qs, appendOracleSelect(q, rows), q.SelectColumns(snap))
+		}
+	}
+}
+
+// TestAppendColumnsSnapshotIsolation proves a snapshot never observes
+// rows appended after it was taken, and that concurrent appenders and
+// queriers are race-free (run under -race).
+func TestAppendColumnsSnapshotIsolation(t *testing.T) {
+	job := randomJob(rand.New(rand.NewSource(3)), 500)
+	rows := flattenDFS(job)
+	ac := NewAppendColumns()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			queries := []string{`mission = Compute`, `duration > 5 order by start`, `actor ~ Worker limit 9`}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := ac.Snapshot()
+				n := snap.Rows()
+				for _, qs := range queries {
+					q, err := Parse(qs)
+					if err != nil {
+						t.Errorf("parse: %v", err)
+						return
+					}
+					got := q.SelectColumns(snap)
+					if len(got) > n {
+						t.Errorf("snapshot of %d rows returned %d ops", n, len(got))
+						return
+					}
+				}
+				if snap.Rows() != n {
+					t.Errorf("snapshot grew from %d to %d rows", n, snap.Rows())
+					return
+				}
+			}
+		}(int64(r))
+	}
+	for _, od := range rows {
+		ac.Append(od.op, od.depth)
+	}
+	close(stop)
+	wg.Wait()
+	if ac.Rows() != len(rows) {
+		t.Fatalf("appended %d rows, have %d", len(rows), ac.Rows())
+	}
+}
+
+// BenchmarkAppendVsRebuild measures the point of the incremental index:
+// per-event cost of append+snapshot+query versus rebuilding the full
+// columns before each query, at a growing archive size.
+func BenchmarkAppendVsRebuild(b *testing.B) {
+	job := randomJob(rand.New(rand.NewSource(11)), 2000)
+	rows := flattenDFS(job)
+	q, err := Parse(`mission = Compute and duration > 1`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ac := NewAppendColumns()
+			for _, od := range rows {
+				ac.Append(od.op, od.depth)
+			}
+			if got := q.SelectColumns(ac.Snapshot()); len(got) == 0 {
+				b.Fatal("no rows matched")
+			}
+		}
+	})
+	b.Run("rebuild-per-batch", func(b *testing.B) {
+		// Rebuild the columns once per 64-op ingest batch — the cost the
+		// live /query path would pay without append mode.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var cols *Columns
+			for n := 0; n < len(rows); n += 64 {
+				cols = BuildColumns(job)
+			}
+			if got := q.SelectColumns(cols); len(got) == 0 {
+				b.Fatal("no rows matched")
+			}
+		}
+	})
+}

@@ -14,8 +14,11 @@ import (
 	"repro/internal/archive"
 	"repro/internal/cluster"
 	"repro/internal/datagen"
+	"repro/internal/envmon"
 	"repro/internal/faults"
 	"repro/internal/platforms"
+	"repro/internal/stream"
+	"repro/internal/trace"
 )
 
 // JobStatus is the lifecycle state of a submitted job.
@@ -28,6 +31,10 @@ const (
 	StatusDone     JobStatus = "done"
 	StatusFailed   JobStatus = "failed"
 	StatusCanceled JobStatus = "canceled"
+	// StatusStreaming is reported for jobs the executor does not know:
+	// externally run jobs whose events arrive through POST /ingest and
+	// which have not sealed yet.
+	StatusStreaming JobStatus = "streaming"
 )
 
 // SiteRun is the fault-injection point on the executor's run path,
@@ -122,6 +129,8 @@ type JobState struct {
 	Stack string `json:"stack,omitempty"`
 	// Summary is present once the job is done.
 	Summary *Summary `json:"summary,omitempty"`
+	// Stream is present for live streamed jobs (status "streaming").
+	Stream *StreamProgress `json:"stream,omitempty"`
 }
 
 // RetryPolicy bounds the executor's retries around archive persistence:
@@ -173,6 +182,11 @@ type ExecutorOptions struct {
 	// durability contract ("done implies W copies") holds. nil means
 	// single-node operation.
 	Replicator JobReplicator
+	// Streams, when set, receives every job's platform-log records and
+	// environment samples live as the simulation emits them, so /watch
+	// can tail in-process jobs the same way it tails external ones. The
+	// manager should be shared with the server.
+	Streams *stream.Manager
 }
 
 // JobReplicator is the executor's hook into cluster replication,
@@ -198,6 +212,7 @@ type Executor struct {
 	defTO   time.Duration
 	jobPar  int // per-job engine host parallelism
 	repl    JobReplicator
+	streams *stream.Manager
 
 	// ctx is canceled when a shutdown deadline expires, aborting every
 	// in-flight simulation through its per-job context.
@@ -265,6 +280,7 @@ func NewExecutorWith(workers, queueCap int, store *Store, m *Metrics, opts Execu
 		defTO:    opts.DefaultTimeout,
 		jobPar:   jobPar,
 		repl:     opts.Replicator,
+		streams:  opts.Streams,
 		ctx:      ctx,
 		cancel:   cancel,
 		queueCap: queueCap,
@@ -450,6 +466,14 @@ func (e *Executor) process(id string) {
 	e.mu.Lock()
 	req := e.states[id].Request
 	e.mu.Unlock()
+
+	if e.streams != nil {
+		// The live stream is retired whenever the job reaches a terminal
+		// state: on success the archive is already published (watchers and
+		// /query switch to it seamlessly), on failure the seal written by
+		// run() is the last frame watchers drain from their held job.
+		defer e.streams.Remove(id)
+	}
 
 	ctx := e.ctx
 	var cancel context.CancelFunc
@@ -659,9 +683,31 @@ func (e *Executor) run(ctx context.Context, id string, req JobRequest) (Summary,
 		cfg.Nodes = req.Nodes
 		spec.Cluster = cfg
 	}
+	var lj *stream.Job
+	if e.streams != nil {
+		// Mirror the simulation into a live stream so /watch can tail the
+		// job while it runs. Failure to open (slot exhaustion, or an
+		// external stream squatting on the ID) only loses liveness, never
+		// the job itself.
+		if j, jerr := e.streams.OpenInternal(id); jerr == nil {
+			lj = j
+			spec.RecordSink = func(r trace.Record) { lj.PublishRecord(r) }  //nolint:errcheck
+			spec.SampleSink = func(s envmon.Sample) { lj.PublishSample(s) } //nolint:errcheck
+		}
+	}
 	out, err := platforms.RunContext(ctx, spec)
 	if err != nil {
+		if lj != nil {
+			state := stream.StateFailed
+			if e.ctx.Err() != nil {
+				state = stream.StateCanceled
+			}
+			lj.Seal(req.Platform, req.Algorithm, state, 0) //nolint:errcheck
+		}
 		return Summary{}, nil, err
+	}
+	if lj != nil {
+		lj.Seal(out.Job.Platform, req.Algorithm, stream.StateDone, out.Runtime) //nolint:errcheck
 	}
 	return summarize(req, out), out.Job, nil
 }

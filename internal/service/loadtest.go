@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -9,10 +10,13 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/shard"
+	"repro/internal/stream"
 )
 
 // LoadTestConfig drives RunLoadTest.
@@ -45,6 +49,15 @@ type LoadTestConfig struct {
 	// Seed makes the mixed workload's operation shuffle and query draws
 	// reproducible; 0 selects 1.
 	Seed int64
+	// StreamRatio in [0,1] routes that fraction of jobs through the live
+	// streaming path instead of /jobs: the job's events are pushed in
+	// batches through POST /ingest/{id} while a concurrent SSE tail on
+	// GET /watch/{id} follows them, and the report gains ingest event
+	// throughput plus the batch-send-to-frame tail latency.
+	StreamRatio float64
+	// StreamEvents is the synthetic event count per streamed job; 0
+	// selects 256.
+	StreamEvents int
 	// Out receives progress lines; nil discards them.
 	Out io.Writer
 }
@@ -67,6 +80,15 @@ type LoadTestResult struct {
 	// the target is a cluster router (responses carry shard.ShardHeader);
 	// empty against a single node. Sorted by shard ID.
 	PerShard []ShardLatency
+	// Streaming-mode results (StreamRatio > 0).
+	Streamed     int     // jobs driven through /ingest + /watch
+	IngestEvents int     // events acked by /ingest
+	IngestPerSec float64 // acked events per wall-clock second
+	// Tail latency: batch send to SSE frame arrival on the concurrent
+	// /watch tail.
+	TailP50 time.Duration
+	TailP99 time.Duration
+	TailMax time.Duration
 }
 
 // ShardLatency is one shard's slice of a load test.
@@ -81,15 +103,21 @@ type ShardLatency struct {
 type loadClient struct {
 	cfg    LoadTestConfig
 	client *http.Client
+	// tailClient carries the long-lived SSE connections; no overall
+	// timeout, since a healthy tail stays open for the whole stream.
+	tailClient *http.Client
 
-	mu        sync.Mutex
-	latencies []time.Duration
-	perShard  map[string][]time.Duration // latency by serving shard
-	requests  int
-	done      int
-	failed    int
-	reads     int
-	doneIDs   []string // completed job IDs, the targets of mixed reads
+	mu           sync.Mutex
+	latencies    []time.Duration
+	perShard     map[string][]time.Duration // latency by serving shard
+	requests     int
+	done         int
+	failed       int
+	reads        int
+	doneIDs      []string // completed job IDs, the targets of mixed reads
+	streamed     int
+	ingestEvents int
+	tailLat      []time.Duration
 }
 
 func (lc *loadClient) jobDone(id string) {
@@ -234,6 +262,186 @@ func (lc *loadClient) runJob(i int) error {
 	return nil
 }
 
+// syntheticStream builds a well-formed event stream for one synthetic
+// job: a root op with sequential worker ops under it, env samples
+// sprinkled in, sealed done. Sized to roughly `events` events.
+func syntheticStream(events int) []stream.Event {
+	if events < 8 {
+		events = 8
+	}
+	out := []stream.Event{{Type: stream.TypeStart, Time: 0, Op: "root", Actor: "Client", Mission: "Job"}}
+	t := 0.0
+	for len(out) < events-2 {
+		op := fmt.Sprintf("op-%d", len(out))
+		t += 0.25
+		out = append(out, stream.Event{
+			Type: stream.TypeStart, Time: t, Op: op, Parent: "root",
+			Actor: fmt.Sprintf("Worker-%d", len(out)%4), Mission: "Superstep",
+		})
+		t += 0.25
+		out = append(out, stream.Event{Type: stream.TypeEnd, Time: t, Op: op})
+		if len(out)%16 == 0 {
+			out = append(out, stream.Event{Type: stream.TypeEnv, Time: t, Node: "node-0", Kind: "cpu", Used: 0.5})
+		}
+	}
+	t += 0.25
+	out = append(out, stream.Event{Type: stream.TypeEnd, Time: t, Op: "root"})
+	out = append(out, stream.Event{Type: stream.TypeSeal, Time: t, Platform: "Giraph", Algorithm: "BFS", State: stream.StateDone})
+	for i := range out {
+		out[i].Seq = uint64(i + 1)
+	}
+	return out
+}
+
+// ingestBatch pushes one event batch through POST /ingest, retrying
+// backpressure (429) and degraded storage (503) — replays are
+// idempotent by the stream contract. The batch's send time is recorded
+// under its last sequence number for the tail-latency join.
+func (lc *loadClient) ingestBatch(id string, events []stream.Event, sentAt map[uint64]time.Time) error {
+	body, err := stream.EncodeEvents(events)
+	if err != nil {
+		return err
+	}
+	last := events[len(events)-1].Seq
+	for {
+		sentAt[last] = time.Now()
+		req, err := http.NewRequest("POST", lc.cfg.BaseURL+"/ingest/"+id, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		resp, err := lc.client.Do(req)
+		if err != nil {
+			return err
+		}
+		payload, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		lc.record(time.Since(start), resp.Header.Get(shard.ShardHeader))
+		if rerr != nil {
+			return rerr
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var ack ingestResponse
+			if err := json.Unmarshal(payload, &ack); err != nil {
+				return err
+			}
+			lc.mu.Lock()
+			lc.ingestEvents += ack.Accepted
+			lc.mu.Unlock()
+			return nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			time.Sleep(50 * time.Millisecond)
+		default:
+			return fmt.Errorf("ingest %s: %s: %s", id, resp.Status, payload)
+		}
+	}
+}
+
+// tail follows one job's SSE stream until its seal frame, recording the
+// arrival time of every frame ID. ready is closed once the stream is
+// attached, so the caller can hold further ingest batches until frames
+// will actually be observed live.
+func (lc *loadClient) tail(id string, ready chan<- struct{}) (map[uint64]time.Time, error) {
+	req, err := http.NewRequest("GET", lc.cfg.BaseURL+"/watch/"+id+"?from=0", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := lc.tailClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("watch %s: %s: %s", id, resp.Status, payload)
+	}
+	close(ready)
+	at := map[uint64]time.Time{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sealed := false
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "id: "); ok {
+			if seq, perr := strconv.ParseUint(v, 10, 64); perr == nil {
+				at[seq] = time.Now()
+			}
+		} else if v, ok := strings.CutPrefix(line, "event: "); ok && v == "seal" {
+			sealed = true
+		} else if line == "" && sealed {
+			return at, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sealed {
+		return at, fmt.Errorf("watch %s: stream ended before seal", id)
+	}
+	return at, nil
+}
+
+// streamJob drives one job through the live path: the first batch opens
+// the stream, a concurrent SSE tail follows it, the remaining batches
+// are pushed through /ingest, and each batch's send-to-frame gap on the
+// tail becomes a tail-latency sample.
+func (lc *loadClient) streamJob(op int) error {
+	id := fmt.Sprintf("stream-%06d", op)
+	events := syntheticStream(lc.cfg.StreamEvents)
+	const batch = 64
+
+	sentAt := map[uint64]time.Time{}
+	// The first batch opens the stream but always holds the seal (and at
+	// least one event) back, so the job is still live when the tail
+	// attaches and the remaining batches are observed as real SSE frames.
+	n := min(batch, len(events)-1)
+	if err := lc.ingestBatch(id, events[:n], sentAt); err != nil {
+		return err
+	}
+	type tailOut struct {
+		at  map[uint64]time.Time
+		err error
+	}
+	tailCh := make(chan tailOut, 1)
+	ready := make(chan struct{})
+	go func() {
+		at, err := lc.tail(id, ready)
+		tailCh <- tailOut{at, err}
+	}()
+	select {
+	case <-ready:
+	case out := <-tailCh:
+		if out.err != nil {
+			return out.err
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("stream %s: tail never attached", id)
+	}
+	for off := n; off < len(events); off += batch {
+		if err := lc.ingestBatch(id, events[off:min(off+batch, len(events))], sentAt); err != nil {
+			return err
+		}
+	}
+	select {
+	case out := <-tailCh:
+		if out.err != nil {
+			return out.err
+		}
+		lc.mu.Lock()
+		for seq, t0 := range sentAt {
+			if t1, ok := out.at[seq]; ok && t1.After(t0) {
+				lc.tailLat = append(lc.tailLat, t1.Sub(t0))
+			}
+		}
+		lc.streamed++
+		lc.mu.Unlock()
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("stream %s: tail did not reach the seal", id)
+	}
+	return nil
+}
+
 // queryVariant builds the i-th distinct query-language string of the
 // mixed workload. The variants cover the evaluator's dimensions
 // (string, numeric, depth, info predicates; sorts; limits) while each
@@ -296,10 +504,32 @@ func RunLoadTest(cfg LoadTestConfig) (*LoadTestResult, error) {
 	if cfg.ReadRatio < 0 || cfg.ReadRatio >= 1 {
 		return nil, fmt.Errorf("service: loadtest read ratio %v outside [0,1)", cfg.ReadRatio)
 	}
+	if cfg.StreamRatio < 0 || cfg.StreamRatio > 1 {
+		return nil, fmt.Errorf("service: loadtest stream ratio %v outside [0,1]", cfg.StreamRatio)
+	}
+	if cfg.StreamEvents < 1 {
+		cfg.StreamEvents = 256
+	}
 	if cfg.Out == nil {
 		cfg.Out = io.Discard
 	}
-	lc := &loadClient{cfg: cfg, client: &http.Client{Timeout: 60 * time.Second}}
+	lc := &loadClient{
+		cfg:        cfg,
+		client:     &http.Client{Timeout: 60 * time.Second},
+		tailClient: &http.Client{},
+	}
+
+	// The top nStream job indices are driven through the streaming path;
+	// in mixed mode job 0 stays a normal submission so early reads always
+	// have a completed executor job to target.
+	nStream := int(float64(cfg.Jobs)*cfg.StreamRatio + 0.5)
+	if cfg.ReadRatio > 0 && nStream >= cfg.Jobs {
+		nStream = cfg.Jobs - 1
+	}
+	if nStream > 0 {
+		fmt.Fprintf(cfg.Out, "[loadtest] streaming %d/%d jobs through /ingest + /watch (%d events each)\n",
+			nStream, cfg.Jobs, cfg.StreamEvents)
+	}
 
 	// The operation schedule: every job submission, plus — in mixed mode
 	// — enough reads that they make up ReadRatio of all operations,
@@ -345,6 +575,17 @@ func RunLoadTest(cfg LoadTestConfig) (*LoadTestResult, error) {
 						lc.failed++
 						lc.mu.Unlock()
 					}
+				case op >= cfg.Jobs-nStream:
+					if err := lc.streamJob(op); err != nil {
+						fmt.Fprintf(cfg.Out, "[loadtest] stream job %d: %v\n", op, err)
+						lc.mu.Lock()
+						lc.failed++
+						lc.mu.Unlock()
+						continue
+					}
+					// The sealed stream is a normal archived job, so it
+					// joins the mixed-read target pool.
+					lc.jobDone(fmt.Sprintf("stream-%06d", op))
 				case cfg.ReadRatio > 0:
 					id, err := lc.submitJob(op)
 					if err != nil {
@@ -412,6 +653,17 @@ func RunLoadTest(cfg LoadTestConfig) (*LoadTestResult, error) {
 		res.P99 = lc.latencies[n*99/100]
 		res.Max = lc.latencies[n-1]
 	}
+	res.Streamed = lc.streamed
+	res.IngestEvents = lc.ingestEvents
+	if wall > 0 {
+		res.IngestPerSec = float64(lc.ingestEvents) / wall.Seconds()
+	}
+	if n := len(lc.tailLat); n > 0 {
+		sort.Slice(lc.tailLat, func(i, j int) bool { return lc.tailLat[i] < lc.tailLat[j] })
+		res.TailP50 = lc.tailLat[n/2]
+		res.TailP99 = lc.tailLat[n*99/100]
+		res.TailMax = lc.tailLat[n-1]
+	}
 	shards := make([]string, 0, len(lc.perShard))
 	for id := range lc.perShard {
 		shards = append(shards, id)
@@ -437,6 +689,10 @@ func (r *LoadTestResult) Render() string {
 		r.Jobs, r.Done, r.Failed, r.Wall.Seconds(), r.JobsPerSec, r.ReqPerSec, r.Requests)
 	if r.Reads > 0 {
 		out += fmt.Sprintf("reads: %d query requests\n", r.Reads)
+	}
+	if r.Streamed > 0 {
+		out += fmt.Sprintf("streaming: %d jobs, %d events ingested (%.0f events/s), tail latency p50 %s  p99 %s  max %s\n",
+			r.Streamed, r.IngestEvents, r.IngestPerSec, r.TailP50, r.TailP99, r.TailMax)
 	}
 	out += fmt.Sprintf("request latency: p50 %s  p95 %s  p99 %s  max %s\n",
 		r.P50, r.P95, r.P99, r.Max)

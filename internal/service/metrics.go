@@ -73,6 +73,12 @@ type Metrics struct {
 	panics      uint64
 	shed        uint64
 	transitions map[BreakerState]uint64
+
+	// Live-streaming counters (POST /ingest, GET /watch).
+	ingestBatches  uint64
+	ingestEvents   uint64
+	ingestRejected uint64
+	watchConns     uint64
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -111,6 +117,39 @@ func (m *Metrics) CountShed() {
 	}
 	m.mu.Lock()
 	m.shed++
+	m.mu.Unlock()
+}
+
+// CountIngestBatch counts one accepted ingest batch and its newly
+// applied events.
+func (m *Metrics) CountIngestBatch(events int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.ingestBatches++
+	m.ingestEvents += uint64(events)
+	m.mu.Unlock()
+}
+
+// CountIngestRejected counts one rejected ingest batch (gap, overflow,
+// bad shape, or sealed job).
+func (m *Metrics) CountIngestRejected() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.ingestRejected++
+	m.mu.Unlock()
+}
+
+// CountWatch counts one accepted /watch connection.
+func (m *Metrics) CountWatch() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.watchConns++
 	m.mu.Unlock()
 }
 
@@ -287,6 +326,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, storeJobs int, storag
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
+	counter("granula_stream_ingest_batches_total", "Accepted live-stream ingest batches.", m.ingestBatches)
+	counter("granula_stream_ingest_events_total", "Events applied through live-stream ingest.", m.ingestEvents)
+	counter("granula_stream_ingest_rejected_total", "Rejected live-stream ingest batches.", m.ingestRejected)
+	counter("granula_watch_connections_total", "Accepted /watch SSE connections.", m.watchConns)
 	if caches != nil {
 		counter("granula_querycache_hits_total", "Compiled-query cache hits.", caches.QueryHits)
 		counter("granula_querycache_misses_total", "Compiled-query cache misses (full parses).", caches.QueryMisses)

@@ -228,6 +228,22 @@ func (s *Server) cached(h http.HandlerFunc) http.HandlerFunc {
 		}
 		rec := newBodyRecorder()
 		h(rec, r)
+		if rec.header.Get(liveHeader) != "" {
+			// The body was computed from a still-streaming job: its bytes
+			// move without the store generation moving, so caching or
+			// tagging it would pin stale data. Replay verbatim; once the
+			// job seals and publishes, responses drop the marker and cache
+			// normally under the bumped generation.
+			for k, vs := range rec.header {
+				if k == liveHeader {
+					continue
+				}
+				w.Header()[k] = vs
+			}
+			w.WriteHeader(rec.status)
+			w.Write(rec.body)
+			return
+		}
 		if rec.status != http.StatusOK {
 			// Errors are cheap to recompute and must not occupy slots;
 			// replay them verbatim without a validator.

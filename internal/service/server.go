@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/archive"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/regression"
 	"repro/internal/shard"
+	"repro/internal/stream"
 	"repro/internal/viz"
 )
 
@@ -42,6 +44,17 @@ type Server struct {
 	shardID string
 	cluster *shard.Map
 	extra   func(io.Writer)
+
+	// streams holds live (in-flight) jobs: externally ingested streams
+	// and in-process jobs mirrored by the executor's sinks.
+	streams   *stream.Manager
+	heartbeat time.Duration
+
+	// durableMu guards durable, the per-live-job high-water sequence
+	// already persisted as stream batches; an ingest ack implies the
+	// batch is at or below this mark.
+	durableMu sync.Mutex
+	durable   map[string]uint64
 }
 
 // ServerOptions tunes the server's robustness and caching behavior.
@@ -66,6 +79,16 @@ type ServerOptions struct {
 	// ExtraMetrics, when set, is appended to the /metrics exposition
 	// after the core families; the replication metrics ride here.
 	ExtraMetrics func(io.Writer)
+	// Streams is the live-job manager shared with the executor (so
+	// in-process jobs stream their own supersteps); nil creates a
+	// private manager with StreamConfig's bounds.
+	Streams *stream.Manager
+	// StreamConfig bounds the private manager created when Streams is
+	// nil; ignored otherwise.
+	StreamConfig stream.Config
+	// WatchHeartbeat is the /watch SSE keep-alive comment interval;
+	// 0 selects 15 s.
+	WatchHeartbeat time.Duration
 }
 
 // NewServer wires the API routes. Metrics may be nil, in which case a
@@ -82,6 +105,14 @@ func NewServerWith(exec *Executor, store *Store, m *Metrics, opts ServerOptions)
 	s := &Server{
 		exec: exec, store: store, metrics: m, faults: opts.Faults,
 		shardID: opts.ShardID, cluster: opts.Cluster, extra: opts.ExtraMetrics,
+		streams: opts.Streams, heartbeat: opts.WatchHeartbeat,
+		durable: map[string]uint64{},
+	}
+	if s.streams == nil {
+		s.streams = stream.NewManager(opts.StreamConfig)
+	}
+	if s.heartbeat <= 0 {
+		s.heartbeat = 15 * time.Second
 	}
 	if opts.QueryCacheSize >= 0 {
 		s.queries = query.NewCache(opts.QueryCacheSize)
@@ -100,6 +131,8 @@ func NewServerWith(exec *Executor, store *Store, m *Metrics, opts ServerOptions)
 	route("GET /jobs/{id}/archive", s.cached(s.handleArchive))
 	route("GET /jobs/{id}/query", s.cached(s.handleQuery))
 	route("GET /jobs/{id}/viz/{kind}", s.cached(s.handleViz))
+	route("POST /ingest/{id}", s.handleIngest)
+	route("GET /watch/{id}", s.handleWatch)
 	route("POST /diff", s.handleDiff)
 	route("GET /healthz", s.handleHealthz)
 	route("GET /metrics", s.handleMetrics)
@@ -107,8 +140,13 @@ func NewServerWith(exec *Executor, store *Store, m *Metrics, opts ServerOptions)
 	route("GET "+shard.ExportPathPrefix+"{id}", s.handleExport)
 	route("GET "+shard.ClusterPath, s.handleCluster)
 	s.handler = mux
+	s.recoverStreams()
 	return s
 }
+
+// Streams returns the live-job manager, for wiring the executor's
+// in-process streaming sinks to the same manager /watch serves.
+func (s *Server) Streams() *stream.Manager { return s.streams }
 
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
@@ -241,6 +279,22 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			})
 			return
 		}
+		if lj, live := s.streams.Get(id); live {
+			// An externally streamed job: no executor record, just the
+			// growing stream. Expose its progress as a streaming state.
+			events, completed, open := lj.Progress()
+			platform, algorithm := lj.Meta()
+			writeJSON(w, http.StatusOK, JobState{
+				ID:      id,
+				Request: JobRequest{Platform: platform, Algorithm: algorithm, ID: id},
+				Status:  StatusStreaming,
+				Stream: &StreamProgress{
+					Events: events, CompletedOps: completed, OpenOps: open,
+					LastSeq: lj.LastSeq(),
+				},
+			})
+			return
+		}
 		writeError(w, http.StatusNotFound, "no job %q", id)
 		return
 	}
@@ -322,25 +376,42 @@ func viewOps(ops []*archive.Operation) []OperationView {
 	return out
 }
 
-// queryResponse carries the operations matched by a query.
+// queryResponse carries the operations matched by a query. The live
+// fields are set only for queries answered from a still-streaming job
+// (omitted on sealed archives, so archived responses are byte-stable
+// across this feature).
 type queryResponse struct {
 	JobID      string          `json:"jobId"`
 	Count      int             `json:"count"`
 	Operations []OperationView `json:"operations"`
+	Live       bool            `json:"live,omitempty"`
+	LastSeq    uint64          `json:"lastSeq,omitempty"`
 }
 
 // handleQuery serves GET /jobs/{id}/query. Exactly one selector is
 // required: ?q= runs the internal/query language over the tree;
 // ?mission=, ?actor=, and ?path= hit the store's secondary indexes.
+// A job that is still streaming (no archive yet) answers from its
+// incremental columnar index over completed operations, marked live so
+// the response cache never files the moving bytes.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err := s.faults.Fail(SiteQuery); err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	id := r.PathValue("id")
-	sj, ok := s.storedJob(w, id)
-	if !ok {
-		return
+	sj, stored := s.store.Get(id)
+	var live *stream.Job
+	if !stored {
+		if lj, ok := s.streams.Get(id); ok {
+			live = lj
+		} else if st, known := s.exec.State(id); known {
+			writeError(w, http.StatusConflict, "job %q is %s, no archive yet", id, st.Status)
+			return
+		} else {
+			writeError(w, http.StatusNotFound, "no job %q", id)
+			return
+		}
 	}
 	params := r.URL.Query()
 	selectors := 0
@@ -354,6 +425,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			"need exactly one of q=, mission=, actor=, path= (got %d)", selectors)
 		return
 	}
+	// The live watermark is read before the data: the stream may grow
+	// while the response renders, so LastSeq is a lower bound on what
+	// the operations reflect.
+	var lastSeq uint64
+	if live != nil {
+		lastSeq = live.LastSeq()
+	}
 	var ops []*archive.Operation
 	switch {
 	case params.Has("q"):
@@ -362,21 +440,44 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		if sj.Cols != nil {
+		switch {
+		case live != nil:
+			// Snapshot of the incremental index: completed operations in
+			// completion order, race-free against concurrent ingest.
+			ops = q.SelectColumns(live.Columns())
+		case sj.Cols != nil:
 			// Compiled evaluation over the columnar projection built at
 			// Put time; returns exactly what q.Select(sj.Job) would.
 			ops = q.SelectColumns(sj.Cols)
-		} else {
+		default:
 			ops = q.Select(sj.Job)
 		}
 	case params.Has("mission"):
-		ops = sj.ByMission(params.Get("mission"))
+		if live != nil {
+			ops = live.Lookup("mission", params.Get("mission"))
+		} else {
+			ops = sj.ByMission(params.Get("mission"))
+		}
 	case params.Has("actor"):
-		ops = sj.ByActor(params.Get("actor"))
+		if live != nil {
+			ops = live.Lookup("actor", params.Get("actor"))
+		} else {
+			ops = sj.ByActor(params.Get("actor"))
+		}
 	case params.Has("path"):
-		ops = sj.ByPath(params.Get("path"))
+		if live != nil {
+			ops = live.Lookup("path", params.Get("path"))
+		} else {
+			ops = sj.ByPath(params.Get("path"))
+		}
 	}
-	writeJSON(w, http.StatusOK, queryResponse{JobID: id, Count: len(ops), Operations: viewOps(ops)})
+	resp := queryResponse{JobID: id, Count: len(ops), Operations: viewOps(ops)}
+	if live != nil {
+		resp.Live = true
+		resp.LastSeq = lastSeq
+		w.Header().Set(liveHeader, "1")
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleViz(w http.ResponseWriter, r *http.Request) {
@@ -518,6 +619,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w, s.exec.QueueDepth(), s.store.Len(), s.store.StorageStats(), s.store.BreakerState(), s.cacheStats())
+	fmt.Fprintf(w, "# HELP granula_stream_live_jobs Jobs currently streaming (external ingest plus in-process mirrors).\n# TYPE granula_stream_live_jobs gauge\ngranula_stream_live_jobs %d\n", s.streams.Live())
 	if s.extra != nil {
 		s.extra(w)
 	}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -191,6 +192,13 @@ type Store struct {
 	versions map[string]uint64
 	db       *archivedb.DB
 
+	// streamKeys tracks, per live streamed job, the archivedb keys of
+	// its acked ingest batches so sealing can delete them in one sweep.
+	streamKeys map[string][]string
+	// recoveredStream holds the stream batches found during warm-up,
+	// sorted by (job, lastSeq); the server replays them at startup.
+	recoveredStream []StreamBatch
+
 	// generation counts publishes. It is bumped inside the same critical
 	// section that makes a job visible, before the Put acks, so a
 	// response computed before a write can only ever be cached under a
@@ -206,7 +214,11 @@ type Store struct {
 
 // NewStore returns an empty in-memory store with no durability.
 func NewStore() *Store {
-	return &Store{jobs: map[string]*StoredJob{}, versions: map[string]uint64{}}
+	return &Store{
+		jobs:       map[string]*StoredJob{},
+		versions:   map[string]uint64{},
+		streamKeys: map[string][]string{},
+	}
 }
 
 // NewStoreWithDB returns a store backed by db with default breaker
@@ -241,6 +253,17 @@ func NewStoreWithOptions(db *archivedb.DB, opts StoreOptions) (*Store, error) {
 		if !ok {
 			continue
 		}
+		if jobID, lastSeq, isStream := parseStreamKey(id); isStream {
+			// Acked ingest batches of jobs that were still streaming at
+			// the last shutdown. They are not archives; surface them for
+			// the serving layer to replay (or discard, if the job was
+			// sealed) instead of decoding them as jobs.
+			s.streamKeys[jobID] = append(s.streamKeys[jobID], id)
+			s.recoveredStream = append(s.recoveredStream, StreamBatch{
+				JobID: jobID, LastSeq: lastSeq, Payload: payload,
+			})
+			continue
+		}
 		var pj persistedJob
 		if err := json.Unmarshal(payload, &pj); err != nil {
 			return nil, fmt.Errorf("service: decode job %q: %w", id, err)
@@ -255,6 +278,13 @@ func NewStoreWithOptions(db *archivedb.DB, opts StoreOptions) (*Store, error) {
 		}
 		s.versions[id] = pj.Version
 	}
+	sort.Slice(s.recoveredStream, func(i, j int) bool {
+		a, b := s.recoveredStream[i], s.recoveredStream[j]
+		if a.JobID != b.JobID {
+			return a.JobID < b.JobID
+		}
+		return a.LastSeq < b.LastSeq
+	})
 	return s, nil
 }
 
@@ -480,6 +510,106 @@ func (s *Store) IDs() []string {
 	s.mu.RUnlock()
 	sort.Strings(out)
 	return out
+}
+
+// streamKeyPrefix namespaces the archivedb records that hold acked
+// ingest batches of in-flight streamed jobs. '~' sorts after every
+// printable job-ID character and the prefix never collides with a job
+// ID the API accepts, so stream records and archives share one WAL
+// without ambiguity; warm-up routes on the prefix.
+const streamKeyPrefix = "~stream/"
+
+// StreamBatch is one durable acked ingest batch: the encoded events of
+// a live streamed job up to LastSeq, recovered at startup so a restart
+// never loses an acked batch.
+type StreamBatch struct {
+	JobID   string
+	LastSeq uint64
+	Payload []byte
+}
+
+// streamBatchKey builds the archivedb key for one acked batch. The
+// fixed-width sequence suffix makes lexicographic key order equal
+// replay order.
+func streamBatchKey(jobID string, lastSeq uint64) string {
+	return fmt.Sprintf("%s%s/%020d", streamKeyPrefix, jobID, lastSeq)
+}
+
+// parseStreamKey inverts streamBatchKey. The job ID may itself contain
+// slashes, so the sequence is split off at the last one.
+func parseStreamKey(key string) (jobID string, lastSeq uint64, ok bool) {
+	rest := strings.TrimPrefix(key, streamKeyPrefix)
+	if rest == key {
+		return "", 0, false
+	}
+	i := strings.LastIndex(rest, "/")
+	if i < 0 {
+		return "", 0, false
+	}
+	seq, err := strconv.ParseUint(rest[i+1:], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return rest[:i], seq, true
+}
+
+// AppendStreamBatch persists one acked ingest batch through the same
+// WAL group-commit path archives take: the caller acks the batch to the
+// client only after this returns, so "202 accepted" means the events
+// survive a crash. In-memory stores (no database) ack immediately —
+// they advertise no durability for archives either. The breaker guards
+// the write exactly as it guards Put.
+func (s *Store) AppendStreamBatch(jobID string, lastSeq uint64, payload []byte) error {
+	if s.db == nil {
+		return nil
+	}
+	if !s.breaker.Allow() {
+		return ErrDegraded
+	}
+	key := streamBatchKey(jobID, lastSeq)
+	if err := s.db.Put(key, payload, archivedb.IndexMeta{}); err != nil {
+		s.breaker.Failure()
+		return err
+	}
+	s.breaker.Success()
+	s.mu.Lock()
+	s.streamKeys[jobID] = append(s.streamKeys[jobID], key)
+	s.mu.Unlock()
+	return nil
+}
+
+// RecoveredStreamBatches returns the acked ingest batches found when
+// the store was opened over an existing database, sorted by
+// (job, lastSeq) — replay order. The serving layer folds them back into
+// live jobs at startup.
+func (s *Store) RecoveredStreamBatches() []StreamBatch {
+	s.mu.RLock()
+	out := make([]StreamBatch, len(s.recoveredStream))
+	copy(out, s.recoveredStream)
+	s.mu.RUnlock()
+	return out
+}
+
+// DeleteStreamBatches removes every durable ingest batch of a job,
+// called once the sealed archive itself is durable (the batches are
+// then redundant) or when a recovered job's archive already exists.
+// Best effort: a delete failure leaves an orphan batch that the next
+// startup discards the same way.
+func (s *Store) DeleteStreamBatches(jobID string) error {
+	s.mu.Lock()
+	keys := s.streamKeys[jobID]
+	delete(s.streamKeys, jobID)
+	s.mu.Unlock()
+	if s.db == nil {
+		return nil
+	}
+	var first error
+	for _, k := range keys {
+		if err := s.db.Delete(k); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Archive assembles the stored jobs (sorted by ID) into one archive,

@@ -25,6 +25,7 @@ import (
 	"repro/internal/archivedb"
 	"repro/internal/service"
 	"repro/internal/shard"
+	"repro/internal/stream"
 )
 
 // clusterShard is one in-process granula-serve shard: its own WAL
@@ -542,4 +543,140 @@ func TestEmitClusterBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s\n%s", path, data)
+}
+
+// clusterStreamEvents is a tiny well-formed live stream: a root with
+// one child operation and an env sample, sealed done at t=4.
+func clusterStreamEvents() []stream.Event {
+	return []stream.Event{
+		{Seq: 1, Type: stream.TypeStart, Time: 0, Op: "op-1", Actor: "Client", Mission: "Job"},
+		{Seq: 2, Type: stream.TypeStart, Time: 1, Op: "op-2", Parent: "op-1", Actor: "Worker-0", Mission: "Load"},
+		{Seq: 3, Type: stream.TypeInfo, Time: 1.5, Op: "op-2", Key: "Bytes", Value: "4096"},
+		{Seq: 4, Type: stream.TypeEnv, Time: 2, Node: "node-0", Kind: "cpu", Used: 0.8},
+		{Seq: 5, Type: stream.TypeEnd, Time: 3, Op: "op-2"},
+		{Seq: 6, Type: stream.TypeEnd, Time: 4, Op: "op-1"},
+		{Seq: 7, Type: stream.TypeSeal, Time: 4, Platform: "Giraph", Algorithm: "BFS", State: stream.StateDone},
+	}
+}
+
+// ingestVia POSTs an event batch through the given base URL and returns
+// the status, decoded ack, and response headers.
+func ingestVia(t *testing.T, base, id string, events []stream.Event) (int, map[string]any, http.Header) {
+	t.Helper()
+	body, err := stream.EncodeEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/ingest/"+id, "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	ack := map[string]any{}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(payload, &ack); err != nil {
+			t.Fatalf("bad ack: %v: %s", err, payload)
+		}
+	}
+	return resp.StatusCode, ack, resp.Header
+}
+
+// TestClusterStreamTailThroughRouter pins satellite coverage for the
+// router's SSE pass-through: a live job ingested through the router is
+// tailed through the router, frames arrive incrementally with the
+// owning shard stamped, and the sealed archive is readable afterwards.
+func TestClusterStreamTailThroughRouter(t *testing.T) {
+	c := startCluster(t, clusterConfig{shards: 3, replication: 2, quorum: 1, nosync: true})
+	events := clusterStreamEvents()
+	const id = "live-tail"
+
+	code, ack, _ := ingestVia(t, c.rts.URL, id, events[:4])
+	if code != http.StatusOK || ack["state"] != "streaming" {
+		t.Fatalf("open stream via router: %d %v", code, ack)
+	}
+	if st, _, _ := mustGet(t, c.rts.URL+"/jobs/"+id); st != http.StatusOK {
+		t.Fatalf("status via router: %d", st)
+	}
+
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		body, _ := stream.EncodeEvents(events)
+		resp, err := http.Post(c.rts.URL+"/ingest/"+id, "application/x-ndjson", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	req, err := http.NewRequest(http.MethodGet, c.rts.URL+"/watch/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &http.Client{} // no timeout: the tail closes at the seal frame
+	resp, err := tc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch via router: %d %v: %s", resp.StatusCode, err, text)
+	}
+	if resp.Header.Get(shard.ShardHeader) == "" {
+		t.Fatal("watch response lacks owning-shard header")
+	}
+	for _, want := range []string{"id: 1\nevent: op\n", "id: 4\nevent: env\n", "id: 7\nevent: seal\n"} {
+		if !bytes.Contains(text, []byte(want)) {
+			t.Fatalf("router tail missing %q:\n%s", want, text)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, _, _ := mustGet(t, c.rts.URL+"/jobs/"+id+"/archive"); st == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sealed archive never became readable through the router")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterStreamFailoverReplay pins the mid-stream failover
+// contract: when the primary dies with a half-streamed job, the next
+// batch lands on a follower that answers 409 with expected seq 1, and
+// the client's idempotent replay from the start rebuilds the stream
+// there — no acked event is lost to the client's view.
+func TestClusterStreamFailoverReplay(t *testing.T) {
+	c := startCluster(t, clusterConfig{shards: 3, replication: 2, quorum: 1, nosync: true})
+	events := clusterStreamEvents()
+	const id = "live-failover"
+
+	if code, _, _ := ingestVia(t, c.rts.URL, id, events[:4]); code != http.StatusOK {
+		t.Fatalf("open stream: %d", code)
+	}
+	primary := c.m.Owners(id)[0].ID
+	for _, cs := range c.shards {
+		if cs.id == primary {
+			cs.kill()
+		}
+	}
+
+	// The router fails over the next batch to a follower with no stream
+	// state; the 409 names the sequence the client must rewind to.
+	code, _, hdr := ingestVia(t, c.rts.URL, id, events[4:])
+	if code != http.StatusConflict {
+		t.Fatalf("post-kill batch: %d, want 409", code)
+	}
+	if got := hdr.Get("X-Granula-Expected-Seq"); got != "1" {
+		t.Fatalf("expected-seq after failover = %q, want 1", got)
+	}
+
+	code, ack, _ := ingestVia(t, c.rts.URL, id, events)
+	if code != http.StatusOK || ack["state"] != "archived" {
+		t.Fatalf("replay after failover: %d %v", code, ack)
+	}
+	if st, body, _ := mustGet(t, c.rts.URL+"/jobs/"+id+"/archive"); st != http.StatusOK || !bytes.Contains(body, []byte("op-2")) {
+		t.Fatalf("archive after failover replay: %d: %s", st, body)
+	}
 }

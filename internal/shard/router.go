@@ -18,6 +18,11 @@ import (
 // them toward a shard that would 413 anyway.
 const maxProxyBytes = 1 << 20
 
+// maxIngestProxyBytes caps proxied /ingest batches, matching the
+// shards' own ingest cap (larger than submit bodies — a batch carries
+// many events).
+const maxIngestProxyBytes = 4 << 20
+
 // RouterOptions tunes NewRouter; zero values select defaults.
 type RouterOptions struct {
 	// Client issues the proxied requests; nil selects a 60 s timeout
@@ -46,13 +51,17 @@ type RouterOptions struct {
 // from the static map — the router holds no per-job state and any
 // number of router instances can front the same shards.
 type Router struct {
-	m       *Map
-	client  *http.Client
-	metrics *RouterMetrics
-	repairN int
-	healthT time.Duration
-	repairT time.Duration // background probe/repair deadline
-	handler http.Handler
+	m      *Map
+	client *http.Client
+	// streamClient carries the long-lived /watch pass-throughs: same
+	// transport as client, but no overall timeout — a healthy SSE tail
+	// legitimately outlives any request deadline.
+	streamClient *http.Client
+	metrics      *RouterMetrics
+	repairN      int
+	healthT      time.Duration
+	repairT      time.Duration // background probe/repair deadline
+	handler      http.Handler
 
 	rr    atomic.Uint64 // follower-read rotation
 	seq   atomic.Uint64 // router-assigned job IDs
@@ -83,7 +92,11 @@ func NewRouter(m *Map, opts RouterOptions) *Router {
 	if repairT <= 0 {
 		repairT = 60 * time.Second
 	}
-	rt := &Router{m: m, client: c, metrics: mt, repairN: opts.RepairEvery, healthT: ht, repairT: repairT}
+	rt := &Router{
+		m: m, client: c,
+		streamClient: &http.Client{Transport: c.Transport},
+		metrics:      mt, repairN: opts.RepairEvery, healthT: ht, repairT: repairT,
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", rt.handleSubmit)
 	mux.HandleFunc("GET /jobs", rt.handleList)
@@ -92,6 +105,8 @@ func NewRouter(m *Map, opts RouterOptions) *Router {
 	mux.HandleFunc("GET /jobs/{id}/archive", rt.handleRead)
 	mux.HandleFunc("GET /jobs/{id}/query", rt.handleRead)
 	mux.HandleFunc("GET /jobs/{id}/viz/{kind}", rt.handleRead)
+	mux.HandleFunc("POST /ingest/{id}", rt.handleIngest)
+	mux.HandleFunc("GET /watch/{id}", rt.handleWatch)
 	mux.HandleFunc("POST /diff", rt.handleDiff)
 	mux.HandleFunc("GET "+ClusterPath, rt.handleCluster)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
@@ -165,7 +180,7 @@ func (rt *Router) forward(ctx context.Context, n Node, method, pathq string, bod
 // byte-determinism contract is that these are exactly the bytes a
 // single-node granula-serve would have written.
 func (rt *Router) writeProxied(w http.ResponseWriter, res proxyResult) {
-	for _, k := range []string{"Content-Type", "ETag", "Retry-After"} {
+	for _, k := range []string{"Content-Type", "ETag", "Retry-After", "X-Granula-Expected-Seq"} {
 		if v := res.header.Get(k); v != "" {
 			w.Header().Set(k, v)
 		}
@@ -515,6 +530,118 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(append(buf, '\n'))
+}
+
+// handleIngest routes POST /ingest/{id} to the job's primary, failing
+// over only on transport errors and 5xx — a live stream is stateful on
+// whichever shard accepted its first batch, so 404/409 answers are
+// definitive, not misses to retry elsewhere. If the primary dies
+// mid-stream a failed-over batch lands on a replica with no stream
+// state and answers 409 with the expected sequence 1; the client's
+// replay from the start is idempotent and rebuilds the stream there.
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxIngestProxyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if isMaxBytes(err, &tooBig) {
+			writeRouterError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeRouterError(w, http.StatusBadRequest, "read request: %v", err)
+		return
+	}
+	rt.tryOwners(w, r, rt.m.Owners(id), http.MethodPost, "/ingest/"+id, body, false, nil)
+}
+
+// handleWatch passes GET /watch/{id} through as a live SSE stream:
+// frames are relayed to the client with an immediate flush per chunk,
+// never buffered. Failover is connect-time only — owners are tried in
+// order until one accepts the tail (the stream usually lives on the
+// primary; 404/409 from a shard without it fails over to the next) —
+// because switching shards mid-stream could replay or skip frames. A
+// dropped tail is resumed by the client reconnecting with
+// Last-Event-ID, which is forwarded.
+func (rt *Router) handleWatch(w http.ResponseWriter, r *http.Request) {
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeRouterError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	id := r.PathValue("id")
+	pathq := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathq += "?" + r.URL.RawQuery
+	}
+	var best *proxyResult
+	for _, n := range rt.m.Owners(id) {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, n.URL+pathq, nil)
+		if err != nil {
+			writeRouterError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		for _, k := range []string{"Last-Event-ID", "Accept"} {
+			if v := r.Header.Get(k); v != "" {
+				req.Header.Set(k, v)
+			}
+		}
+		start := time.Now()
+		resp, err := rt.streamClient.Do(req)
+		rt.metrics.countRequest(n.ID, time.Since(start).Seconds())
+		if err != nil {
+			rt.metrics.countFailover(n.ID)
+			if best == nil {
+				best = &proxyResult{node: n, err: err}
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			// Buffered relay candidate; retriable answers fail over.
+			buf, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			res := proxyResult{node: n, status: resp.StatusCode, header: resp.Header, body: buf}
+			if resp.StatusCode >= 500 || retriableStatus(resp.StatusCode) {
+				rt.metrics.countFailover(n.ID)
+				if best == nil || best.err != nil || best.status >= 500 {
+					best = &res
+				}
+				continue
+			}
+			rt.writeProxied(w, res)
+			return
+		}
+		// Connected: relay the event stream chunk by chunk, flushing
+		// each so frames reach the client the moment the shard emits
+		// them. No failover past this point.
+		defer resp.Body.Close()
+		h := w.Header()
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			h.Set("Content-Type", ct)
+		}
+		h.Set("Cache-Control", "no-store")
+		h.Set(ShardHeader, n.ID)
+		w.WriteHeader(http.StatusOK)
+		flusher.Flush()
+		buf := make([]byte, 4096)
+		for {
+			nr, rerr := resp.Body.Read(buf)
+			if nr > 0 {
+				if _, werr := w.Write(buf[:nr]); werr != nil {
+					return
+				}
+				flusher.Flush()
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	}
+	rt.metrics.countExhausted()
+	if best == nil || best.err != nil {
+		writeRouterError(w, http.StatusBadGateway, "no shard reachable for GET %s", pathq)
+		return
+	}
+	rt.writeProxied(w, *best)
 }
 
 // handleDiff routes POST /diff to the baseline job's primary. Both jobs

@@ -57,13 +57,26 @@ type Record struct {
 // Log is an append-only record sink.
 type Log struct {
 	records []Record
+	sink    func(Record)
 }
 
 // NewLog returns an empty log.
 func NewLog() *Log { return &Log{} }
 
+// SetSink registers a callback invoked synchronously for every record
+// appended after the call, in append order. It exists so live observers
+// (the streaming subsystem) can tail a job's platform log while the job
+// runs; the log itself remains the source of truth for assembly. A nil
+// sink disables the callback.
+func (l *Log) SetSink(sink func(Record)) { l.sink = sink }
+
 // Append adds a record.
-func (l *Log) Append(r Record) { l.records = append(l.records, r) }
+func (l *Log) Append(r Record) {
+	l.records = append(l.records, r)
+	if l.sink != nil {
+		l.sink(r)
+	}
+}
 
 // Records returns all records in append order. The slice must not be
 // modified.
