@@ -50,6 +50,9 @@ type routerConfig struct {
 	vnodes      int
 	mapVersion  uint64
 	repairEvery int
+	retryBudget int
+	probeEvery  time.Duration
+	noDetector  bool
 }
 
 // parseFlags parses args into a routerConfig without touching globals,
@@ -66,6 +69,9 @@ func parseFlags(args []string, stderr io.Writer) (*routerConfig, error) {
 	fs.IntVar(&cfg.vnodes, "vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
 	fs.Uint64Var(&cfg.mapVersion, "map-version", 1, "shard-map version (with -shards; -map files carry their own)")
 	fs.IntVar(&cfg.repairEvery, "repair-every", 16, "probe replica divergence on every Nth successful job read (0 = disable probing)")
+	fs.IntVar(&cfg.retryBudget, "retry-budget", 0, "failover retries per routed request after the first attempt (0 = default of 3, -1 = unlimited)")
+	fs.DurationVar(&cfg.probeEvery, "heartbeat-interval", 0, "failure-detector probe period (0 = 500ms)")
+	fs.BoolVar(&cfg.noDetector, "no-detector", false, "disable the failure detector; routing falls back to pure ring order")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -107,7 +113,17 @@ func run(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "granula-router: %v\n", err)
 		return 2
 	}
-	rt := shard.NewRouter(m, shard.RouterOptions{RepairEvery: cfg.repairEvery})
+	var det *shard.Detector
+	if !cfg.noDetector {
+		// Self "" — the router is not in the map and probes every shard.
+		det = shard.NewDetector(m, "", shard.DetectorOptions{Interval: cfg.probeEvery})
+		det.Start()
+	}
+	rt := shard.NewRouter(m, shard.RouterOptions{
+		RepairEvery: cfg.repairEvery,
+		RetryBudget: cfg.retryBudget,
+		Detector:    det,
+	})
 
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,
@@ -124,6 +140,9 @@ func run(args []string, stderr io.Writer) int {
 		<-sig
 		fmt.Fprintln(stderr, "granula-router: shutting down...")
 		httpSrv.Close()
+		if det != nil {
+			det.Close()
+		}
 		rt.WaitRepairs()
 	}()
 	fmt.Fprintf(stderr, "granula-router: listening on %s for %d shards (map v%d, R=%d, W=%d)\n",

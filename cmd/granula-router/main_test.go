@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -86,5 +87,36 @@ func TestLoadMapFromFlagAndFile(t *testing.T) {
 	}
 	if m.Ring().Primary("job-0001") != m2.Ring().Primary("job-0001") {
 		t.Fatal("flag-built and file-built maps disagree on placement")
+	}
+}
+
+func TestParseFlagsSelfHealing(t *testing.T) {
+	var buf bytes.Buffer
+	// Defaults: detector on, budget and probe period at their package
+	// defaults (signalled by zero values).
+	cfg, err := parseFlags([]string{"-shards", "s1=http://h1:1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.retryBudget != 0 || cfg.probeEvery != 0 || cfg.noDetector {
+		t.Fatalf("self-healing defaults wrong: %+v", cfg)
+	}
+
+	cfg, err = parseFlags([]string{
+		"-shards", "s1=http://h1:1",
+		"-retry-budget", "-1",
+		"-heartbeat-interval", "250ms",
+		"-no-detector",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.retryBudget != -1 || cfg.probeEvery != 250*time.Millisecond || !cfg.noDetector {
+		t.Fatalf("self-healing flags wrong: %+v", cfg)
+	}
+
+	// A malformed probe period is a parse error, not a silent default.
+	if _, err := parseFlags([]string{"-shards", "s1=http://h1:1", "-heartbeat-interval", "soon"}, &buf); err == nil {
+		t.Fatal("parseFlags accepted a malformed -heartbeat-interval")
 	}
 }

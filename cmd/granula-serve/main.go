@@ -105,6 +105,10 @@ type serveConfig struct {
 	streamRatio  float64
 	maxLiveJobs  int
 	heartbeat    time.Duration
+	probeEvery   time.Duration
+	hintDrain    time.Duration
+	antiEntropy  time.Duration
+	selfHeal     bool
 }
 
 // parseFlags parses args into a serveConfig without touching globals,
@@ -138,6 +142,10 @@ func parseFlags(args []string, stderr io.Writer) (*serveConfig, error) {
 	fs.Float64Var(&cfg.streamRatio, "stream-ratio", 0, "loadtest: fraction of jobs streamed through /ingest with a concurrent /watch tail, in [0,1]; reports ingest events/s and tail latency")
 	fs.IntVar(&cfg.maxLiveJobs, "max-live-jobs", 0, "bound on concurrently streaming jobs before /ingest sheds with 429 (0 = 256)")
 	fs.DurationVar(&cfg.heartbeat, "watch-heartbeat", 0, "idle /watch connections get an SSE comment at this period (0 = 15s)")
+	fs.BoolVar(&cfg.selfHeal, "self-heal", true, "cluster: enable the failure detector, hinted handoff, and anti-entropy (requires -peers; -self-heal=false keeps strict quorum semantics)")
+	fs.DurationVar(&cfg.probeEvery, "heartbeat-interval", 0, "cluster: failure-detector probe period (0 = 500ms)")
+	fs.DurationVar(&cfg.hintDrain, "hint-drain", 0, "cluster: hinted-handoff drain period (0 = 1s)")
+	fs.DurationVar(&cfg.antiEntropy, "anti-entropy", 0, "cluster: replica digest-exchange period (0 = 5s)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -256,7 +264,25 @@ func run(args []string, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "granula-serve: %v\n", err)
 			return 2
 		}
-		rep, err := shard.NewReplicator(cfg.shardID, clusterMap, shard.ReplicatorOptions{})
+		repOpts := shard.ReplicatorOptions{}
+		var selfheal *shard.SelfHealMetrics
+		var det *shard.Detector
+		if cfg.selfHeal {
+			// The self-healing stack: the detector feeds the replicator
+			// (skip pushes to known corpses) and gates the drainer and
+			// anti-entropy sweep; the store is the durable hint journal.
+			selfheal = shard.NewSelfHealMetrics()
+			det = shard.NewDetector(clusterMap, cfg.shardID, shard.DetectorOptions{
+				Interval: cfg.probeEvery,
+				Metrics:  selfheal,
+			})
+			selfheal.SetDetector(det)
+			selfheal.SetHintGauge(store.HintCount)
+			repOpts.Hints = store
+			repOpts.Detector = det
+			repOpts.SelfHeal = selfheal
+		}
+		rep, err := shard.NewReplicator(cfg.shardID, clusterMap, repOpts)
 		if err != nil {
 			fmt.Fprintf(stderr, "granula-serve: %v\n", err)
 			return 2
@@ -264,10 +290,33 @@ func run(args []string, stderr io.Writer) int {
 		execOpts.Replicator = rep
 		srvOpts.ShardID = cfg.shardID
 		srvOpts.Cluster = clusterMap
-		srvOpts.ExtraMetrics = rep.Metrics().WritePrometheus
-		fmt.Fprintf(stderr, "granula-serve: shard %s in a %d-shard map v%d (R=%d, W=%d)\n",
+		if cfg.selfHeal {
+			srvOpts.ExtraMetrics = func(w io.Writer) {
+				rep.Metrics().WritePrometheus(w)
+				selfheal.WritePrometheus(w)
+			}
+			det.Start()
+			defer det.Close()
+			drainer := shard.NewDrainer(clusterMap, store, shard.DrainerOptions{
+				Interval: cfg.hintDrain, Detector: det, Metrics: selfheal,
+			})
+			drainer.Start()
+			defer drainer.Close()
+			ae, err := shard.NewAntiEntropy(cfg.shardID, clusterMap, store, shard.AntiEntropyOptions{
+				Interval: cfg.antiEntropy, Detector: det, Metrics: selfheal,
+			})
+			if err != nil {
+				fmt.Fprintf(stderr, "granula-serve: %v\n", err)
+				return 2
+			}
+			ae.Start()
+			defer ae.Close()
+		} else {
+			srvOpts.ExtraMetrics = rep.Metrics().WritePrometheus
+		}
+		fmt.Fprintf(stderr, "granula-serve: shard %s in a %d-shard map v%d (R=%d, W=%d, self-heal %v)\n",
 			cfg.shardID, len(clusterMap.Shards), clusterMap.Version,
-			clusterMap.Replication, clusterMap.WriteQuorum)
+			clusterMap.Replication, clusterMap.WriteQuorum, cfg.selfHeal)
 	}
 	exec := service.NewExecutorWith(cfg.workers, cfg.queueCap, store, metrics, execOpts)
 	srv := service.NewServerWith(exec, store, metrics, srvOpts)

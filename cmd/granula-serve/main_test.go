@@ -219,3 +219,41 @@ func TestParseFlagsCluster(t *testing.T) {
 		t.Fatalf("run with a shard ID outside the map = %d, want exit code 2", code)
 	}
 }
+
+func TestParseFlagsSelfHealing(t *testing.T) {
+	var buf bytes.Buffer
+	// Self-healing is on by default for clustered nodes; the periods
+	// fall back to package defaults when left at zero.
+	cfg, err := parseFlags([]string{
+		"-shard-id", "s1", "-peers", "s1=http://h1:1,s2=http://h2:1",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.selfHeal || cfg.probeEvery != 0 || cfg.hintDrain != 0 || cfg.antiEntropy != 0 {
+		t.Fatalf("self-healing defaults wrong: %+v", cfg)
+	}
+
+	cfg, err = parseFlags([]string{
+		"-shard-id", "s1", "-peers", "s1=http://h1:1,s2=http://h2:1",
+		"-self-heal=false",
+		"-heartbeat-interval", "100ms",
+		"-hint-drain", "2s",
+		"-anti-entropy", "30s",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.selfHeal {
+		t.Fatal("-self-heal=false did not stick")
+	}
+	if cfg.probeEvery != 100*time.Millisecond || cfg.hintDrain != 2*time.Second || cfg.antiEntropy != 30*time.Second {
+		t.Fatalf("self-healing periods wrong: %+v", cfg)
+	}
+
+	if _, err := parseFlags([]string{
+		"-shard-id", "s1", "-peers", "s1=http://h1:1", "-anti-entropy", "often",
+	}, &buf); err == nil {
+		t.Fatal("parseFlags accepted a malformed -anti-entropy")
+	}
+}

@@ -1,11 +1,14 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -55,6 +58,13 @@ type Server struct {
 	// batch is at or below this mark.
 	durableMu sync.Mutex
 	durable   map[string]uint64
+
+	// jitterMu guards jitter, the source behind Retry-After values.
+	// Randomizing the hint spreads retries from shed clients over a
+	// window instead of synchronizing them into a thundering herd one
+	// second later.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
 }
 
 // ServerOptions tunes the server's robustness and caching behavior.
@@ -107,6 +117,7 @@ func NewServerWith(exec *Executor, store *Store, m *Metrics, opts ServerOptions)
 		shardID: opts.ShardID, cluster: opts.Cluster, extra: opts.ExtraMetrics,
 		streams: opts.Streams, heartbeat: opts.WatchHeartbeat,
 		durable: map[string]uint64{},
+		jitter:  rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	if s.streams == nil {
 		s.streams = stream.NewManager(opts.StreamConfig)
@@ -139,6 +150,8 @@ func NewServerWith(exec *Executor, store *Store, m *Metrics, opts ServerOptions)
 	route("POST "+shard.ReplicatePath, s.handleReplicate)
 	route("GET "+shard.ExportPathPrefix+"{id}", s.handleExport)
 	route("GET "+shard.ClusterPath, s.handleCluster)
+	route("GET "+shard.HealthPath, s.handleInternalHealth)
+	route("GET "+shard.DigestPath, s.handleDigest)
 	s.handler = mux
 	s.recoverStreams()
 	return s
@@ -158,8 +171,18 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // isolates handler panics: a panicking handler (from a bug or an
 // injected fault) answers 500 instead of tearing down the connection,
 // and the panic is counted so chaos runs can assert isolation worked.
+// It also honors X-Granula-Deadline: a router (or client) propagating
+// its absolute deadline gets a handler context that expires with it,
+// so the shard stops working on answers nobody is waiting for.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hd := r.Header.Get(shard.DeadlineHeader); hd != "" {
+			if ms, err := strconv.ParseInt(hd, 10, 64); err == nil && ms > 0 {
+				ctx, cancel := context.WithDeadline(r.Context(), time.UnixMilli(ms))
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
 		start := time.Now()
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -172,6 +195,16 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
 		}()
 		h(w, r)
 	})
+}
+
+// setRetryAfter stamps a jittered Retry-After of 1-3 seconds. A fixed
+// "1" would synchronize every shed client into a retry storm exactly
+// one second later; the spread drains the herd over a window.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	s.jitterMu.Lock()
+	secs := 1 + s.jitter.Intn(3)
+	s.jitterMu.Unlock()
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 // errorBody is the uniform JSON error envelope.
@@ -228,7 +261,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// Degraded read-only mode: reads keep serving, submits are shed
 		// until the breaker's probe confirms storage recovered.
 		s.metrics.CountShed()
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		writeError(w, http.StatusServiceUnavailable, "%v", ErrDegraded)
 		return
 	}
@@ -238,7 +271,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.exec.Submit(req)
 	if err == ErrQueueFull {
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	}
@@ -646,7 +679,7 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.store.ApplyReplica(rec.ID, rec.Version, rec.Payload); err != nil {
 		if errors.Is(err, ErrDegraded) {
-			w.Header().Set("Retry-After", "1")
+			s.setRetryAfter(w)
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
@@ -681,6 +714,35 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(blob)
+}
+
+// handleInternalHealth serves the failure detector's probe target: a
+// deliberately tiny, allocation-light answer so probing every 500 ms
+// across a fleet costs nothing measurable. Any 2xx means alive — a
+// degraded (read-only) shard still answers 200 here, because degraded
+// is not dead and must not trigger promotion or hinted handoff.
+func (s *Server) handleInternalHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.store.ReadOnly() {
+		status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"shardId\":%q,\"status\":%q,\"generation\":%d}\n",
+		s.shardID, status, s.store.Generation())
+}
+
+// handleDigest serves the anti-entropy exchange: this shard's full
+// (jobID, version) digest, sorted, so a peer can spot divergence with
+// one request and ship bytes only for records that differ.
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	buf, err := shard.EncodeDigest(s.store.Digest())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(buf, '\n'))
 }
 
 // clusterInfo is the shard-side /cluster response; the router serves a

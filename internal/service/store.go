@@ -24,6 +24,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/archivedb"
 	"repro/internal/query"
+	"repro/internal/shard"
 )
 
 // Summary is the condensed result of one analyzed job, suitable for a
@@ -195,6 +196,10 @@ type Store struct {
 	// streamKeys tracks, per live streamed job, the archivedb keys of
 	// its acked ingest batches so sealing can delete them in one sweep.
 	streamKeys map[string][]string
+	// hints is the in-memory view of the hinted-handoff journal
+	// (target -> job ID -> newest hint), mirrored to archivedb under
+	// hintKeyPrefix when there is one; see store_hints.go.
+	hints map[string]map[string]shard.HintRecord
 	// recoveredStream holds the stream batches found during warm-up,
 	// sorted by (job, lastSeq); the server replays them at startup.
 	recoveredStream []StreamBatch
@@ -218,6 +223,7 @@ func NewStore() *Store {
 		jobs:       map[string]*StoredJob{},
 		versions:   map[string]uint64{},
 		streamKeys: map[string][]string{},
+		hints:      map[string]map[string]shard.HintRecord{},
 	}
 }
 
@@ -251,6 +257,23 @@ func NewStoreWithOptions(db *archivedb.DB, opts StoreOptions) (*Store, error) {
 			return nil, fmt.Errorf("service: load job %q: %w", id, err)
 		}
 		if !ok {
+			continue
+		}
+		if target, hintID, isHint := parseHintKey(id); isHint {
+			// Journaled hinted-handoff records from before the last
+			// shutdown: restore them for the drainer. A hint that fails
+			// validation is dropped — the anti-entropy sweep converges the
+			// replica it would have repaired.
+			rec, err := shard.DecodeHintRecord(payload)
+			if err != nil || rec.Target != target || rec.ID != hintID {
+				continue
+			}
+			if s.hints[target] == nil {
+				s.hints[target] = map[string]shard.HintRecord{}
+			}
+			if old, ok := s.hints[target][hintID]; !ok || old.Version <= rec.Version {
+				s.hints[target][hintID] = rec
+			}
 			continue
 		}
 		if jobID, lastSeq, isStream := parseStreamKey(id); isStream {

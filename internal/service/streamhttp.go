@@ -99,7 +99,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusConflict, "%v", err)
 		case errors.Is(err, stream.ErrOverflow), errors.Is(err, stream.ErrTooManyJobs):
 			s.metrics.CountShed()
-			w.Header().Set("Retry-After", "1")
+			s.setRetryAfter(w)
 			writeError(w, http.StatusTooManyRequests, "%v", err)
 		default:
 			writeError(w, http.StatusBadRequest, "%v", err)
@@ -111,7 +111,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			// The events are applied in memory but not durable, so the
 			// batch is NOT acked; the client's retry replays it (a no-op
 			// in memory) and re-attempts the persist.
-			w.Header().Set("Retry-After", "1")
+			s.setRetryAfter(w)
 			writeError(w, http.StatusServiceUnavailable, "persist stream batch: %v", err)
 			return
 		}
@@ -123,7 +123,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			st, ferr := s.finalizeStream(id, j)
 			if ferr != nil {
 				if errors.Is(ferr, ErrDegraded) {
-					w.Header().Set("Retry-After", "1")
+					s.setRetryAfter(w)
 					writeError(w, http.StatusServiceUnavailable, "%v", ferr)
 				} else {
 					// The stream cannot assemble into a valid archive;
@@ -286,6 +286,129 @@ func (s *Server) recoverStreams() {
 	}
 }
 
+// pollResponse is one long-poll batch: the events past the client's
+// cursor (raw, not windowed), the new cursor to pass back as ?from=,
+// and whether the stream has sealed (sealed + an empty batch means the
+// client has everything and can stop polling).
+type pollResponse struct {
+	JobID   string         `json:"jobId"`
+	Count   int            `json:"count"`
+	Events  []stream.Event `json:"events"`
+	LastSeq uint64         `json:"lastSeq"`
+	Sealed  bool           `json:"sealed"`
+	State   string         `json:"state"`
+}
+
+// defaultPollWait bounds how long a long-poll request parks waiting for
+// new events before answering an empty batch.
+const defaultPollWait = 10 * time.Second
+
+// handleWatchPoll serves GET /watch/{id}?poll=1: the long-poll
+// fallback to the SSE tail. The client passes its cursor via ?from=
+// (or Last-Event-ID, same as SSE) and gets back every event after it;
+// with nothing new yet the request parks up to ?wait= (default 10 s,
+// capped at 60) and answers an empty batch on timeout, which the
+// client just re-polls. Already-archived jobs answer a terminal sealed
+// batch immediately.
+func (s *Server) handleWatchPoll(w http.ResponseWriter, r *http.Request, id string) {
+	var from uint64
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		v, err := strconv.ParseUint(lei, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad Last-Event-ID %q", lei)
+			return
+		}
+		from = v
+	} else if fq := r.URL.Query().Get("from"); fq != "" {
+		v, err := strconv.ParseUint(fq, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad from %q", fq)
+			return
+		}
+		from = v
+	}
+	wait := defaultPollWait
+	if wq := r.URL.Query().Get("wait"); wq != "" {
+		d, err := time.ParseDuration(wq)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad wait %q: %v", wq, err)
+			return
+		}
+		if d < 0 {
+			writeError(w, http.StatusBadRequest, "wait must not be negative")
+			return
+		}
+		if d > time.Minute {
+			d = time.Minute
+		}
+		wait = d
+	}
+
+	live, ok := s.streams.Get(id)
+	if !ok {
+		if sj, archived := s.store.Get(id); archived {
+			// Terminal answer: the job sealed and published before this
+			// poll; hand the client the same closing fact the SSE tail
+			// would, so its loop terminates.
+			s.metrics.CountWatch()
+			writeJSON(w, http.StatusOK, pollResponse{
+				JobID: id, Count: 1, Events: []stream.Event{{
+					Type: stream.TypeSeal, Time: sj.Summary.Runtime,
+					Platform: sj.Summary.Platform, Algorithm: sj.Summary.Algorithm,
+					State: stream.StateDone,
+				}}, Sealed: true, State: "archived",
+			})
+			return
+		}
+		if st, known := s.exec.State(id); known {
+			writeError(w, http.StatusConflict, "job %q is %s, not streaming", id, st.Status)
+		} else {
+			writeError(w, http.StatusNotFound, "no job %q", id)
+		}
+		return
+	}
+
+	s.metrics.CountWatch()
+	sub := live.Subscribe()
+	defer live.Unsubscribe(sub)
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		evs := live.EventsAfter(from)
+		sealed, _ := live.Sealed()
+		if len(evs) > 0 || sealed || wait == 0 {
+			lastSeq := from
+			if len(evs) > 0 {
+				lastSeq = evs[len(evs)-1].Seq
+			}
+			if evs == nil {
+				evs = []stream.Event{}
+			}
+			state := "streaming"
+			if sealed {
+				state = "sealed"
+			}
+			w.Header().Set(liveHeader, "1")
+			writeJSON(w, http.StatusOK, pollResponse{
+				JobID: id, Count: len(evs), Events: evs,
+				LastSeq: lastSeq, Sealed: sealed, State: state,
+			})
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-deadline.C:
+			w.Header().Set(liveHeader, "1")
+			writeJSON(w, http.StatusOK, pollResponse{
+				JobID: id, Events: []stream.Event{}, LastSeq: from, State: "streaming",
+			})
+			return
+		case <-sub:
+		}
+	}
+}
+
 // handleWatch serves GET /watch/{id}: a Server-Sent-Events tail of a
 // live job's stream. Frame IDs carry the event sequence number, so a
 // dropped client resumes exactly with Last-Event-ID (or ?from=seq).
@@ -300,6 +423,12 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
+	if r.URL.Query().Get("poll") == "1" {
+		// Long-poll fallback for clients (and intermediaries) that cannot
+		// hold an SSE stream open: one buffered JSON batch per request.
+		s.handleWatchPoll(w, r, id)
+		return
+	}
 	flusher, canFlush := w.(http.Flusher)
 	if !canFlush {
 		writeError(w, http.StatusInternalServerError, "response writer cannot stream")

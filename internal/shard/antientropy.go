@@ -1,0 +1,335 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// DigestPath is the cluster-internal digest exchange: a shard answers
+// GET with its full (jobID, version) digest, the anti-entropy sweep's
+// unit of comparison. Versions make the exchange cheap — divergence is
+// a version mismatch, and only divergent records ship bytes.
+const DigestPath = "/internal/digest"
+
+// DigestEntry is one job's row in a shard digest.
+type DigestEntry struct {
+	ID      string `json:"id"`
+	Version uint64 `json:"version"`
+}
+
+// validateDigest checks the invariants every digest must hold: IDs
+// non-empty valid UTF-8, versions >= 1, strictly sorted by ID (sorted
+// order is what makes the exchange deterministic and duplicate-free).
+// Fuzzed via FuzzDigest.
+func validateDigest(entries []DigestEntry) error {
+	for i, e := range entries {
+		switch {
+		case e.ID == "":
+			return fmt.Errorf("shard: digest entry %d has no id", i)
+		case !utf8.ValidString(e.ID):
+			return fmt.Errorf("shard: digest entry %d id is not valid UTF-8", i)
+		case e.Version == 0:
+			return fmt.Errorf("shard: digest entry %q has version 0", e.ID)
+		case i > 0 && entries[i-1].ID >= e.ID:
+			return fmt.Errorf("shard: digest not strictly sorted at %q", e.ID)
+		}
+	}
+	return nil
+}
+
+// EncodeDigest validates and marshals a digest for the wire.
+func EncodeDigest(entries []DigestEntry) ([]byte, error) {
+	if err := validateDigest(entries); err != nil {
+		return nil, err
+	}
+	if entries == nil {
+		entries = []DigestEntry{}
+	}
+	buf, err := json.Marshal(entries)
+	if err != nil {
+		return nil, fmt.Errorf("shard: encode digest: %w", err)
+	}
+	return buf, nil
+}
+
+// DecodeDigest unmarshals and validates a wire digest.
+func DecodeDigest(buf []byte) ([]DigestEntry, error) {
+	var entries []DigestEntry
+	if err := json.Unmarshal(buf, &entries); err != nil {
+		return nil, fmt.Errorf("shard: decode digest: %w", err)
+	}
+	if err := validateDigest(entries); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// LocalReplicaStore is the shard-local state the anti-entropy sweep
+// reads and writes; internal/service.Store implements it. The shard
+// package defines the interface (not the service type) to keep the
+// dependency direction honest — shard must not import service.
+type LocalReplicaStore interface {
+	// Digest returns the local (jobID, version) set, sorted by ID.
+	Digest() []DigestEntry
+	// ExportRecord returns the exact persisted bytes for one job.
+	ExportRecord(id string) (ReplicaRecord, bool, error)
+	// ApplyRecord applies a record idempotently by (ID, version).
+	ApplyRecord(rec ReplicaRecord) error
+}
+
+// AntiEntropyOptions tunes NewAntiEntropy; zero values select defaults.
+type AntiEntropyOptions struct {
+	// Client issues the digest/export/replicate exchange; nil selects a
+	// 30 s timeout client.
+	Client *http.Client
+	// Interval is the background sweep period; 0 selects 5 s.
+	Interval time.Duration
+	// Detector, when set, skips peers marked Down (they cannot answer;
+	// the sweep catches them up after they return).
+	Detector *Detector
+	// Metrics receives sweep counters; may be nil.
+	Metrics *SelfHealMetrics
+}
+
+// AntiEntropy is the read-independent convergence loop: each shard
+// periodically exchanges digests with the peers it shares replica sets
+// with, pushes its exported bytes for records where it is newer, and
+// pulls where the peer is newer. Together with hinted handoff this
+// generalizes the router's read-triggered repair into a guarantee —
+// replicas converge to byte-identical archives even if no client ever
+// reads them.
+type AntiEntropy struct {
+	m        *Map
+	self     string
+	store    LocalReplicaStore
+	client   *http.Client
+	interval time.Duration
+	det      *Detector
+	metrics  *SelfHealMetrics
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewAntiEntropy builds the sweep for one shard (self) over the map.
+func NewAntiEntropy(self string, m *Map, store LocalReplicaStore, opts AntiEntropyOptions) (*AntiEntropy, error) {
+	if _, ok := m.Node(self); !ok {
+		return nil, fmt.Errorf("shard: anti-entropy self %q is not in the map", self)
+	}
+	c := opts.Client
+	if c == nil {
+		c = &http.Client{Timeout: 30 * time.Second}
+	}
+	interval := opts.Interval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	return &AntiEntropy{
+		m: m, self: self, store: store, client: c, interval: interval,
+		det: opts.Detector, metrics: opts.Metrics,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}, nil
+}
+
+// Start launches the background sweep loop. Idempotent.
+func (ae *AntiEntropy) Start() {
+	ae.startOnce.Do(func() { go ae.loop() })
+}
+
+// Close stops the loop and waits for it; safe without Start.
+func (ae *AntiEntropy) Close() {
+	ae.stopOnce.Do(func() { close(ae.stop) })
+	ae.startOnce.Do(func() { close(ae.done) })
+	<-ae.done
+}
+
+func (ae *AntiEntropy) loop() {
+	defer close(ae.done)
+	t := time.NewTicker(ae.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ae.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), ae.interval*4+30*time.Second)
+			ae.SweepOnce(ctx)
+			cancel()
+		}
+	}
+}
+
+// SweepOnce runs one full digest exchange against every reachable peer
+// and returns how many records were pushed to and pulled from peers.
+// Only records both sides own (per the ring) are exchanged — a digest
+// names everything a shard holds, but convergence is defined over
+// replica sets, not over the union of all shards.
+func (ae *AntiEntropy) SweepOnce(ctx context.Context) (pushed, pulled int) {
+	local := map[string]uint64{}
+	for _, e := range ae.store.Digest() {
+		local[e.ID] = e.Version
+	}
+	for _, peer := range ae.m.Shards {
+		if peer.ID == ae.self {
+			continue
+		}
+		if ae.det != nil && ae.det.Down(peer.ID) {
+			continue
+		}
+		if ctx.Err() != nil {
+			return pushed, pulled
+		}
+		p, q := ae.sweepPeer(ctx, peer, local)
+		pushed += p
+		pulled += q
+	}
+	if ae.metrics != nil {
+		ae.metrics.countSweep(pushed, pulled)
+	}
+	return pushed, pulled
+}
+
+// sweepPeer reconciles the local store against one peer's digest.
+func (ae *AntiEntropy) sweepPeer(ctx context.Context, peer Node, local map[string]uint64) (pushed, pulled int) {
+	remote, err := ae.fetchDigest(ctx, peer)
+	if err != nil {
+		if ae.metrics != nil {
+			ae.metrics.countSweepError()
+		}
+		return 0, 0
+	}
+	remoteV := map[string]uint64{}
+	for _, e := range remote {
+		remoteV[e.ID] = e.Version
+	}
+	// Union of both key sets, deduplicated via the maps themselves.
+	seen := map[string]bool{}
+	consider := func(id string) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		if !ae.coOwned(id, peer.ID) {
+			return
+		}
+		lv, rv := local[id], remoteV[id]
+		switch {
+		case lv > rv:
+			if ae.pushRecord(ctx, peer, id) {
+				pushed++
+			}
+		case rv > lv:
+			if ae.pullRecord(ctx, peer, id) {
+				pulled++
+			}
+		}
+	}
+	for id := range local {
+		consider(id)
+	}
+	for id := range remoteV {
+		consider(id)
+	}
+	return pushed, pulled
+}
+
+// coOwned reports whether both self and the peer are ring owners of id
+// — the only pairs with a convergence obligation.
+func (ae *AntiEntropy) coOwned(id, peerID string) bool {
+	selfOwns, peerOwns := false, false
+	for _, n := range ae.m.Owners(id) {
+		if n.ID == ae.self {
+			selfOwns = true
+		}
+		if n.ID == peerID {
+			peerOwns = true
+		}
+	}
+	return selfOwns && peerOwns
+}
+
+// fetchDigest GETs and validates one peer's digest.
+func (ae *AntiEntropy) fetchDigest(ctx context.Context, n Node) ([]DigestEntry, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+DigestPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := ae.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("shard: digest from %s: %s", n.ID, resp.Status)
+	}
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeDigest(buf)
+}
+
+// pushRecord ships the local bytes for id to the peer's replicate
+// endpoint (idempotent by version, so races with hints and read-repair
+// are harmless).
+func (ae *AntiEntropy) pushRecord(ctx context.Context, n Node, id string) bool {
+	rec, ok, err := ae.store.ExportRecord(id)
+	if err != nil || !ok {
+		return false
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.URL+ReplicatePath, bytes.NewReader(buf))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := ae.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// pullRecord fetches the peer's bytes for id and applies them locally.
+func (ae *AntiEntropy) pullRecord(ctx context.Context, n Node, id string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+ExportPathPrefix+id, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := ae.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return false
+	}
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return false
+	}
+	var rec ReplicaRecord
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return false
+	}
+	if rec.ID != id || rec.Version == 0 || len(rec.Payload) == 0 {
+		return false
+	}
+	return ae.store.ApplyRecord(rec) == nil
+}

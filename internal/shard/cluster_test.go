@@ -42,10 +42,25 @@ type clusterShard struct {
 	nosync    bool
 	commitWin time.Duration
 
+	// Self-healing wiring (when the cluster runs with selfHeal): the
+	// shard-side detector, hint drainer, and anti-entropy sweep, all
+	// sharing the partition-aware client so network faults injected at
+	// the transport affect shard-to-shard traffic too.
+	selfHeal   bool
+	client     *http.Client
+	probeEvery time.Duration
+	drainEvery time.Duration
+	sweepEvery time.Duration
+	downAfter  int
+
 	httpSrv *http.Server
 	db      *archivedb.DB
 	store   *service.Store
 	exec    *service.Executor
+	det     *shard.Detector
+	drainer *shard.Drainer
+	ae      *shard.AntiEntropy
+	heal    *shard.SelfHealMetrics
 	up      bool
 }
 
@@ -60,7 +75,19 @@ func (cs *clusterShard) start(t *testing.T, ln net.Listener) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := shard.NewReplicator(cs.id, cs.m, shard.ReplicatorOptions{})
+	repOpts := shard.ReplicatorOptions{Client: cs.client}
+	if cs.selfHeal {
+		cs.heal = shard.NewSelfHealMetrics()
+		cs.det = shard.NewDetector(cs.m, cs.id, shard.DetectorOptions{
+			Client: cs.client, Interval: cs.probeEvery, DownAfter: cs.downAfter, Metrics: cs.heal,
+		})
+		cs.heal.SetDetector(cs.det)
+		cs.heal.SetHintGauge(store.HintCount)
+		repOpts.Hints = store
+		repOpts.Detector = cs.det
+		repOpts.SelfHeal = cs.heal
+	}
+	rep, err := shard.NewReplicator(cs.id, cs.m, repOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,6 +103,20 @@ func (cs *clusterShard) start(t *testing.T, ln net.Listener) {
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
 	cs.httpSrv, cs.db, cs.store, cs.exec = hs, db, store, exec
+	if cs.selfHeal {
+		cs.drainer = shard.NewDrainer(cs.m, store, shard.DrainerOptions{
+			Client: cs.client, Interval: cs.drainEvery, Detector: cs.det, Metrics: cs.heal,
+		})
+		cs.ae, err = shard.NewAntiEntropy(cs.id, cs.m, store, shard.AntiEntropyOptions{
+			Client: cs.client, Interval: cs.sweepEvery, Detector: cs.det, Metrics: cs.heal,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs.det.Start()
+		cs.drainer.Start()
+		cs.ae.Start()
+	}
 	cs.up = true
 }
 
@@ -88,6 +129,11 @@ func (cs *clusterShard) kill() {
 	}
 	cs.up = false
 	cs.httpSrv.Close()
+	if cs.selfHeal {
+		cs.det.Close()
+		cs.drainer.Close()
+		cs.ae.Close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
 	cs.exec.Shutdown(ctx)
 	cancel()
@@ -121,6 +167,8 @@ type cluster struct {
 	part   *shard.Partition
 	router *shard.Router
 	rts    *httptest.Server
+	det    *shard.Detector        // router-side failure detector (selfHeal)
+	heal   *shard.SelfHealMetrics // router-side detector counters (selfHeal)
 }
 
 type clusterConfig struct {
@@ -131,6 +179,18 @@ type clusterConfig struct {
 	workers     int
 	nosync      bool
 	commitWin   time.Duration // WAL group-commit window per shard
+
+	// selfHeal wires the full self-healing stack: per-shard detector +
+	// hint journal + drainer + anti-entropy, and a detector on the
+	// router. All heartbeat/drain/sweep traffic goes through the same
+	// partition transport as the router's, so injected network faults
+	// hit every path.
+	selfHeal    bool
+	probeEvery  time.Duration // detector probe period; 0 selects 20ms
+	drainEvery  time.Duration // hint drain period; 0 selects 50ms
+	sweepEvery  time.Duration // anti-entropy period; 0 selects 100ms
+	downAfter   int           // detector DownAfter override
+	retryBudget int           // router retry budget (0 = default)
 }
 
 func startCluster(t *testing.T, cfg clusterConfig) *cluster {
@@ -156,23 +216,49 @@ func startCluster(t *testing.T, cfg clusterConfig) *cluster {
 		t.Fatal(err)
 	}
 	c := &cluster{m: m, part: shard.NewPartition()}
+	if cfg.probeEvery == 0 {
+		cfg.probeEvery = 20 * time.Millisecond
+	}
+	if cfg.drainEvery == 0 {
+		cfg.drainEvery = 50 * time.Millisecond
+	}
+	if cfg.sweepEvery == 0 {
+		cfg.sweepEvery = 100 * time.Millisecond
+	}
 	for i, node := range nodes {
 		cs := &clusterShard{
 			id: node.ID, url: node.URL, addr: lns[i].Addr().String(),
 			dir: t.TempDir(), m: m, workers: cfg.workers, nosync: cfg.nosync,
 			commitWin: cfg.commitWin,
+			selfHeal:  cfg.selfHeal, client: c.part.Client(),
+			probeEvery: cfg.probeEvery, drainEvery: cfg.drainEvery,
+			sweepEvery: cfg.sweepEvery, downAfter: cfg.downAfter,
 		}
 		cs.start(t, lns[i])
 		c.shards = append(c.shards, cs)
+	}
+	if cfg.selfHeal {
+		c.heal = shard.NewSelfHealMetrics()
+		c.det = shard.NewDetector(m, "", shard.DetectorOptions{
+			Client: c.part.Client(), Interval: cfg.probeEvery,
+			DownAfter: cfg.downAfter, Metrics: c.heal,
+		})
+		c.heal.SetDetector(c.det)
+		c.det.Start()
 	}
 	c.router = shard.NewRouter(m, shard.RouterOptions{
 		Client:        c.part.Client(),
 		RepairEvery:   cfg.repairEvery,
 		HealthTimeout: 500 * time.Millisecond,
+		Detector:      c.det,
+		RetryBudget:   cfg.retryBudget,
 	})
 	c.rts = httptest.NewServer(c.router.Handler())
 	t.Cleanup(func() {
 		c.rts.Close()
+		if c.det != nil {
+			c.det.Close()
+		}
 		c.router.WaitRepairs()
 		for _, cs := range c.shards {
 			cs.kill()

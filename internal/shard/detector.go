@@ -1,0 +1,302 @@
+package shard
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HealthPath is the lightweight cluster-internal liveness probe served
+// by every shard (and consumed by the failure detector). Unlike
+// /healthz it carries no load information — it exists to answer "is
+// this process reachable" as cheaply as possible, so detector traffic
+// stays negligible at any probe rate.
+const HealthPath = "/internal/health"
+
+// NodeState is the failure detector's verdict on one node.
+type NodeState int
+
+const (
+	// NodeUp: the node answers probes; route to it normally.
+	NodeUp NodeState = iota
+	// NodeSuspect: consecutive misses crossed SuspectAfter but not yet
+	// DownAfter. Suspects keep their ring position (a latency spike must
+	// not reorder owners) but operators can see the wobble.
+	NodeSuspect
+	// NodeDown: consecutive misses crossed DownAfter. The router demotes
+	// the node to the tail of every replica set (promotion) and writers
+	// journal hints for it instead of waiting on its timeout.
+	NodeDown
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeSuspect:
+		return "suspect"
+	case NodeDown:
+		return "down"
+	default:
+		return "up"
+	}
+}
+
+// NodeStatus is one node's row in a detector snapshot.
+type NodeStatus struct {
+	ID     string    `json:"id"`
+	State  NodeState `json:"-"`
+	Status string    `json:"status"`
+	Misses int       `json:"misses,omitempty"`
+}
+
+// DetectorOptions tunes NewDetector; zero values select defaults.
+type DetectorOptions struct {
+	// Client issues the health probes; nil selects a short-timeout
+	// client (probes must fail fast, not queue behind slow requests).
+	Client *http.Client
+	// Interval is the probe period; 0 selects 500 ms.
+	Interval time.Duration
+	// Timeout bounds one probe; 0 selects min(Interval, 1 s).
+	Timeout time.Duration
+	// SuspectAfter is the consecutive misses before Up -> Suspect;
+	// < 1 selects 2.
+	SuspectAfter int
+	// DownAfter is the consecutive misses before -> Down; < 1 selects 4.
+	// Hysteresis lives in the gap: a single dropped probe (GC pause,
+	// latency spike) moves a node at most to Suspect, which does not
+	// change routing.
+	DownAfter int
+	// UpAfter is the consecutive hits before Suspect/Down -> Up;
+	// < 1 selects 2, so one lucky probe does not flap a dead node back.
+	UpAfter int
+	// OnTransition observes state changes (for logs/tests); may be nil.
+	// Called outside the detector lock.
+	OnTransition func(node string, from, to NodeState)
+	// Metrics receives transition counters; may be nil.
+	Metrics *SelfHealMetrics
+}
+
+// Detector is the heartbeat-based failure detector shared by the router
+// and the shard nodes: a probe loop GETs every peer's /internal/health
+// on a fixed interval and turns consecutive outcomes into Up / Suspect
+// / Down verdicts with hysteresis on both edges. Transport-level
+// failures observed by the request path can be fed in passively via
+// Observe, so a dead node is noticed between probe ticks too. It is
+// safe for concurrent use.
+type Detector struct {
+	m            *Map
+	self         string
+	client       *http.Client
+	interval     time.Duration
+	timeout      time.Duration
+	suspectAfter int
+	downAfter    int
+	upAfter      int
+	onTransition func(node string, from, to NodeState)
+	metrics      *SelfHealMetrics
+
+	mu    sync.Mutex
+	nodes map[string]*nodeHealth
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// nodeHealth is one node's hysteresis state.
+type nodeHealth struct {
+	state  NodeState
+	misses int // consecutive failed observations
+	hits   int // consecutive successful observations while not Up
+}
+
+// NewDetector builds a detector over the map. self, when non-empty,
+// names the local node (never probed — a node does not suspect itself);
+// the router passes "".
+func NewDetector(m *Map, self string, opts DetectorOptions) *Detector {
+	interval := opts.Interval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = interval
+		if timeout > time.Second {
+			timeout = time.Second
+		}
+	}
+	c := opts.Client
+	if c == nil {
+		c = &http.Client{Timeout: timeout}
+	}
+	sa, da, ua := opts.SuspectAfter, opts.DownAfter, opts.UpAfter
+	if sa < 1 {
+		sa = 2
+	}
+	if da < 1 {
+		da = 4
+	}
+	if da < sa {
+		da = sa
+	}
+	if ua < 1 {
+		ua = 2
+	}
+	d := &Detector{
+		m: m, self: self, client: c,
+		interval: interval, timeout: timeout,
+		suspectAfter: sa, downAfter: da, upAfter: ua,
+		onTransition: opts.OnTransition, metrics: opts.Metrics,
+		nodes: map[string]*nodeHealth{},
+		stop:  make(chan struct{}), done: make(chan struct{}),
+	}
+	for _, n := range m.Shards {
+		d.nodes[n.ID] = &nodeHealth{state: NodeUp}
+	}
+	return d
+}
+
+// Start launches the probe loop. Idempotent.
+func (d *Detector) Start() {
+	d.startOnce.Do(func() { go d.loop() })
+}
+
+// Close stops the probe loop and waits for it. Safe without Start and
+// safe to call multiple times.
+func (d *Detector) Close() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.startOnce.Do(func() { close(d.done) }) // never started: unblock the wait
+	<-d.done
+}
+
+func (d *Detector) loop() {
+	defer close(d.done)
+	t := time.NewTicker(d.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			d.probeAll()
+		}
+	}
+}
+
+// probeAll probes every peer concurrently and feeds the outcomes in.
+func (d *Detector) probeAll() {
+	var wg sync.WaitGroup
+	for _, n := range d.m.Shards {
+		if n.ID == d.self {
+			continue
+		}
+		wg.Add(1)
+		go func(n Node) {
+			defer wg.Done()
+			d.Observe(n.ID, d.probe(n))
+		}(n)
+	}
+	wg.Wait()
+}
+
+// probe issues one health GET; any 2xx answer counts as alive — even a
+// degraded (breaker-open) shard is reachable and must not be promoted
+// around, it still serves reads and replica applies.
+func (d *Detector) probe(n Node) bool {
+	// The probe carries its own deadline: a caller-supplied client (e.g.
+	// a test's partition transport) may have no timeout, and a hanging
+	// probe must count as a miss, not stall the loop.
+	ctx, cancel := context.WithTimeout(context.Background(), d.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+HealthPath, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		if d.metrics != nil {
+			d.metrics.countProbe(false)
+		}
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	ok := resp.StatusCode >= 200 && resp.StatusCode < 300
+	if d.metrics != nil {
+		d.metrics.countProbe(ok)
+	}
+	return ok
+}
+
+// Observe feeds one observation of a node — a probe outcome, or a
+// passive signal from the request path (the router reports transport
+// errors here; HTTP error statuses do NOT count as misses, a process
+// answering 5xx is alive). Unknown nodes are ignored.
+func (d *Detector) Observe(nodeID string, ok bool) {
+	d.mu.Lock()
+	h, known := d.nodes[nodeID]
+	if !known {
+		d.mu.Unlock()
+		return
+	}
+	from := h.state
+	if ok {
+		h.misses = 0
+		if h.state != NodeUp {
+			h.hits++
+			if h.hits >= d.upAfter {
+				h.state = NodeUp
+				h.hits = 0
+			}
+		}
+	} else {
+		h.hits = 0
+		h.misses++
+		switch {
+		case h.misses >= d.downAfter:
+			h.state = NodeDown
+		case h.misses >= d.suspectAfter && h.state == NodeUp:
+			h.state = NodeSuspect
+		}
+	}
+	to := h.state
+	d.mu.Unlock()
+	if from != to {
+		if d.metrics != nil {
+			d.metrics.countTransition(to)
+		}
+		if d.onTransition != nil {
+			d.onTransition(nodeID, from, to)
+		}
+	}
+}
+
+// State returns the detector's verdict on a node; unknown nodes report
+// Up (an unknown node is not evidence of failure).
+func (d *Detector) State(nodeID string) NodeState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if h, ok := d.nodes[nodeID]; ok {
+		return h.state
+	}
+	return NodeUp
+}
+
+// Down reports whether a node is marked down.
+func (d *Detector) Down(nodeID string) bool { return d.State(nodeID) == NodeDown }
+
+// Snapshot returns every node's status, sorted by ID, for /cluster and
+// the metrics exposition.
+func (d *Detector) Snapshot() []NodeStatus {
+	d.mu.Lock()
+	out := make([]NodeStatus, 0, len(d.nodes))
+	for id, h := range d.nodes {
+		out = append(out, NodeStatus{ID: id, State: h.state, Status: h.state.String(), Misses: h.misses})
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,238 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// HintRecord is the durable unit of hinted handoff: a replica write
+// that could not reach its target within the quorum window, journaled
+// by the acking node (under archivedb's `~hint/` namespace, see
+// internal/service) and replayed by the drainer when the target
+// returns. Payload is the exact persisted bytes of the job — replaying
+// a hint is the same POST /internal/replicate the original fan-out
+// would have issued, so a drained replica is byte-identical to one
+// that never missed the write.
+type HintRecord struct {
+	Target  string          `json:"target"`
+	ID      string          `json:"id"`
+	Version uint64          `json:"version"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Validate checks the structural invariants every hint must hold
+// before it is journaled or replayed. Fuzzed via FuzzHintRecord.
+func (h HintRecord) Validate() error {
+	switch {
+	case h.Target == "":
+		return fmt.Errorf("shard: hint has no target")
+	case !utf8.ValidString(h.Target):
+		return fmt.Errorf("shard: hint target is not valid UTF-8")
+	case h.ID == "":
+		return fmt.Errorf("shard: hint has no job id")
+	case !utf8.ValidString(h.ID):
+		return fmt.Errorf("shard: hint job id is not valid UTF-8")
+	case h.Version == 0:
+		return fmt.Errorf("shard: hint for %q has version 0", h.ID)
+	case len(h.Payload) == 0:
+		return fmt.Errorf("shard: hint for %q has no payload", h.ID)
+	case !json.Valid(h.Payload):
+		return fmt.Errorf("shard: hint for %q has a non-JSON payload", h.ID)
+	}
+	return nil
+}
+
+// EncodeHintRecord validates and marshals one hint for the journal.
+func EncodeHintRecord(h HintRecord) ([]byte, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	buf, err := json.Marshal(h)
+	if err != nil {
+		return nil, fmt.Errorf("shard: encode hint for %q: %w", h.ID, err)
+	}
+	return buf, nil
+}
+
+// DecodeHintRecord unmarshals and validates one journaled hint.
+func DecodeHintRecord(buf []byte) (HintRecord, error) {
+	var h HintRecord
+	if err := json.Unmarshal(buf, &h); err != nil {
+		return HintRecord{}, fmt.Errorf("shard: decode hint: %w", err)
+	}
+	if err := h.Validate(); err != nil {
+		return HintRecord{}, err
+	}
+	return h, nil
+}
+
+// HintJournal is the durable hint store a shard node provides (the
+// service layer implements it over the same archivedb WAL archives
+// use, so an acked hint survives a crash). All methods must be safe
+// for concurrent use.
+type HintJournal interface {
+	// AppendHint journals one missed replica write durably. A hint for
+	// the same (target, id) at an equal-or-newer version may supersede
+	// the old one — only the newest version ever needs replaying.
+	AppendHint(rec HintRecord) error
+	// HintTargets lists the peers with pending hints, sorted.
+	HintTargets() []string
+	// PendingHints returns the journaled hints for one target, sorted
+	// by job ID.
+	PendingHints(target string) ([]HintRecord, error)
+	// DeleteHint removes a delivered hint. A journaled version newer
+	// than the delivered one is kept (it still needs replaying).
+	DeleteHint(target, id string, version uint64) error
+	// HintCount returns the total pending hints across targets.
+	HintCount() int
+}
+
+// DrainerOptions tunes NewDrainer; zero values select defaults.
+type DrainerOptions struct {
+	// Client issues the replay POSTs; nil selects a 30 s timeout client.
+	Client *http.Client
+	// Interval is the background drain period; 0 selects 1 s.
+	Interval time.Duration
+	// Detector, when set, gates replay: targets marked Down are skipped
+	// without an attempt (the journal is durable, there is no hurry).
+	// Without a detector every target is attempted each tick.
+	Detector *Detector
+	// Metrics receives drain counters; may be nil.
+	Metrics *SelfHealMetrics
+}
+
+// Drainer is the background half of hinted handoff: it watches the
+// journal and replays pending hints to their targets once they are
+// reachable again, deleting each hint on a successful ack. Combined
+// with the journal's durability this is what converges "done implies W
+// durable copies" back to full replication after a dead replica
+// returns — without operator action and without waiting for a read.
+type Drainer struct {
+	m        *Map
+	journal  HintJournal
+	client   *http.Client
+	interval time.Duration
+	det      *Detector
+	metrics  *SelfHealMetrics
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewDrainer builds a drainer over the map and journal.
+func NewDrainer(m *Map, journal HintJournal, opts DrainerOptions) *Drainer {
+	c := opts.Client
+	if c == nil {
+		c = &http.Client{Timeout: 30 * time.Second}
+	}
+	interval := opts.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Drainer{
+		m: m, journal: journal, client: c, interval: interval,
+		det: opts.Detector, metrics: opts.Metrics,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+}
+
+// Start launches the background drain loop. Idempotent.
+func (d *Drainer) Start() {
+	d.startOnce.Do(func() { go d.loop() })
+}
+
+// Close stops the loop and waits for it; safe without Start.
+func (d *Drainer) Close() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.startOnce.Do(func() { close(d.done) })
+	<-d.done
+}
+
+func (d *Drainer) loop() {
+	defer close(d.done)
+	t := time.NewTicker(d.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), d.interval*4+30*time.Second)
+			d.DrainOnce(ctx)
+			cancel()
+		}
+	}
+}
+
+// DrainOnce attempts one replay pass over every pending target and
+// returns how many hints were delivered (and deleted). Targets the
+// detector marks Down are skipped; a replay failure abandons that
+// target for this pass (the peer is still unreachable) but other
+// targets keep draining.
+func (d *Drainer) DrainOnce(ctx context.Context) int {
+	drained := 0
+	for _, target := range d.journal.HintTargets() {
+		if d.det != nil && d.det.Down(target) {
+			continue
+		}
+		node, ok := d.m.Node(target)
+		if !ok {
+			continue // target left the map; hints are unreachable garbage
+		}
+		hints, err := d.journal.PendingHints(target)
+		if err != nil {
+			continue
+		}
+		for _, h := range hints {
+			if ctx.Err() != nil {
+				return drained
+			}
+			if err := d.replay(ctx, node, h); err != nil {
+				if d.metrics != nil {
+					d.metrics.countHintDrain(false)
+				}
+				break // peer still unreachable; retry next tick
+			}
+			if d.metrics != nil {
+				d.metrics.countHintDrain(true)
+			}
+			d.journal.DeleteHint(target, h.ID, h.Version) //nolint:errcheck
+			drained++
+		}
+	}
+	return drained
+}
+
+// replay POSTs one hint to its target's replicate endpoint. The
+// endpoint is idempotent by (ID, version), so replaying a hint that a
+// repair or anti-entropy sweep already delivered is a harmless ack.
+func (d *Drainer) replay(ctx context.Context, n Node, h HintRecord) error {
+	rec, err := json.Marshal(ReplicaRecord{ID: h.ID, Version: h.Version, Payload: h.Payload})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.URL+ReplicatePath, bytes.NewReader(rec))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard: hint replay to %s: %s", n.ID, resp.Status)
+	}
+	return nil
+}

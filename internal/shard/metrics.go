@@ -60,14 +60,15 @@ func (h *fixedHistogram) write(w io.Writer, name, labels string) {
 // RouterMetrics is the router's operational counter set, exposed on the
 // router's own /metrics as the granula_router_* family.
 type RouterMetrics struct {
-	mu        sync.Mutex
-	requests  map[string]uint64          // proxied requests by shard
-	failovers map[string]uint64          // requests failed away from a shard
-	latency   map[string]*fixedHistogram // proxy latency by shard
-	repairs   uint64                     // read-repairs dispatched
-	probes    uint64                     // divergence probes issued
-	divergent uint64                     // probes that found divergent ETags
-	exhausted uint64                     // requests that ran out of replicas
+	mu         sync.Mutex
+	requests   map[string]uint64          // proxied requests by shard
+	failovers  map[string]uint64          // requests failed away from a shard
+	latency    map[string]*fixedHistogram // proxy latency by shard
+	repairs    uint64                     // read-repairs dispatched
+	probes     uint64                     // divergence probes issued
+	divergent  uint64                     // probes that found divergent ETags
+	exhausted  uint64                     // requests that ran out of replicas
+	promotions uint64                     // writes routed past a Down primary
 }
 
 // NewRouterMetrics returns an empty router metrics set.
@@ -116,6 +117,20 @@ func (m *RouterMetrics) countExhausted() {
 	m.mu.Lock()
 	m.exhausted++
 	m.mu.Unlock()
+}
+
+func (m *RouterMetrics) countPromotion() {
+	m.mu.Lock()
+	m.promotions++
+	m.mu.Unlock()
+}
+
+// Promotions returns how many writes were routed past a Down primary to
+// the next ring owner.
+func (m *RouterMetrics) Promotions() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.promotions
 }
 
 // Failovers returns the total requests failed away from any shard.
@@ -180,6 +195,10 @@ func (m *RouterMetrics) WritePrometheus(w io.Writer, mapVersion uint64, shards i
 	fmt.Fprintln(w, "# HELP granula_router_exhausted_total Requests that failed on every replica.")
 	fmt.Fprintln(w, "# TYPE granula_router_exhausted_total counter")
 	fmt.Fprintf(w, "granula_router_exhausted_total %d\n", m.exhausted)
+
+	fmt.Fprintln(w, "# HELP granula_router_promotions_total Writes routed past a Down primary to the next ring owner.")
+	fmt.Fprintln(w, "# TYPE granula_router_promotions_total counter")
+	fmt.Fprintf(w, "granula_router_promotions_total %d\n", m.promotions)
 
 	shardsSorted := make([]string, 0, len(m.latency))
 	for id := range m.latency {

@@ -48,10 +48,13 @@ type ReplicaRecord struct {
 // replicas and blocks until the write quorum is met. It is safe for
 // concurrent use.
 type Replicator struct {
-	self    string
-	m       *Map
-	client  *http.Client
-	metrics *ReplMetrics
+	self     string
+	m        *Map
+	client   *http.Client
+	metrics  *ReplMetrics
+	hints    HintJournal
+	det      *Detector
+	selfheal *SelfHealMetrics
 }
 
 // ReplicatorOptions tunes NewReplicator; zero values select defaults.
@@ -62,6 +65,18 @@ type ReplicatorOptions struct {
 	// Metrics receives replication counters; nil creates a private set
 	// (still reachable via Metrics()).
 	Metrics *ReplMetrics
+	// Hints, when set, enables hinted handoff (sloppy quorum): a
+	// follower push that fails is journaled durably, the journaled hint
+	// counts as an ack toward the write quorum, and the drainer replays
+	// it when the peer returns. Without a journal the replicator keeps
+	// the strict quorum semantics — a missed follower is just a miss.
+	Hints HintJournal
+	// Detector, when set, short-circuits pushes to followers already
+	// marked Down: the write goes straight to the hint journal instead
+	// of waiting out a connection timeout on a corpse.
+	Detector *Detector
+	// SelfHeal receives hint-recording counters; may be nil.
+	SelfHeal *SelfHealMetrics
 }
 
 // NewReplicator builds the fan-out for one shard (self) over the map.
@@ -77,24 +92,28 @@ func NewReplicator(self string, m *Map, opts ReplicatorOptions) (*Replicator, er
 	if mt == nil {
 		mt = NewReplMetrics()
 	}
-	return &Replicator{self: self, m: m, client: c, metrics: mt}, nil
+	return &Replicator{
+		self: self, m: m, client: c, metrics: mt,
+		hints: opts.Hints, det: opts.Detector, selfheal: opts.SelfHeal,
+	}, nil
 }
 
 // Metrics returns the replicator's counters.
 func (r *Replicator) Metrics() *ReplMetrics { return r.metrics }
 
 // QuorumError reports a write that could not reach its quorum: how many
-// acks were collected (the local durable write counts as one) and the
-// per-shard failures.
+// acks were collected (the local durable write counts as one), how many
+// durable hints were journaled toward it, and the per-shard failures.
 type QuorumError struct {
 	Acks   int
+	Hinted int
 	Quorum int
 	Errs   []string
 }
 
 func (e *QuorumError) Error() string {
-	return fmt.Sprintf("shard: write quorum not reached: %d/%d acks (%s)",
-		e.Acks, e.Quorum, strings.Join(e.Errs, "; "))
+	return fmt.Sprintf("shard: write quorum not reached: %d/%d acks (%d hinted) (%s)",
+		e.Acks, e.Quorum, e.Hinted, strings.Join(e.Errs, "; "))
 }
 
 // ReplicateJob fans one durable job out to its replica set and returns
@@ -102,7 +121,14 @@ func (e *QuorumError) Error() string {
 // first ack). Every follower is attempted even after the quorum is met
 // — a healthy cluster converges to R full copies on the write path, not
 // just W — but the call returns as soon as the quorum outcome is known.
-// Followers that miss the write are caught up later by read-repair.
+//
+// With a hint journal configured the quorum is sloppy: a follower push
+// that fails (or is skipped because the detector marked the follower
+// Down) journals the record as a durable hint instead, and the hint
+// counts as an ack — "done implies W durable copies" still holds, with
+// the hint as the W-th copy until the drainer delivers it. Without a
+// journal, followers that miss the write are caught up later by
+// read-repair and anti-entropy but do not count toward the quorum.
 func (r *Replicator) ReplicateJob(ctx context.Context, id string, version uint64, payload []byte) error {
 	start := time.Now()
 	owners := r.m.Owners(id)
@@ -125,37 +151,66 @@ func (r *Replicator) ReplicateJob(ctx context.Context, id string, version uint64
 	}
 
 	type result struct {
-		node Node
-		err  error
+		node   Node
+		hinted bool
+		err    error
 	}
 	results := make(chan result, len(followers))
 	for _, n := range followers {
 		go func(n Node) {
-			err := r.push(ctx, n, rec)
+			var err error
+			if r.det != nil && r.det.Down(n.ID) {
+				// Known corpse: don't wait out a transport timeout, go
+				// straight to the hint path below.
+				err = fmt.Errorf("detector marks %s down", n.ID)
+			} else {
+				err = r.push(ctx, n, rec)
+			}
 			r.metrics.countAck(n.ID, err == nil)
-			results <- result{node: n, err: err}
+			hinted := false
+			if err != nil && r.hints != nil {
+				// The hint is journaled on the push goroutine itself, not
+				// the collector — so followers that fail after the quorum
+				// already returned still get their hints recorded.
+				if herr := r.hints.AppendHint(HintRecord{
+					Target: n.ID, ID: id, Version: version, Payload: payload,
+				}); herr == nil {
+					hinted = true
+					if r.selfheal != nil {
+						r.selfheal.countHintRecorded()
+					}
+				} else {
+					err = fmt.Errorf("%v (hint journal: %v)", err, herr)
+				}
+			}
+			results <- result{node: n, hinted: hinted, err: err}
 		}(n)
 	}
 
+	hinted := 0
 	var errs []string
 	for range followers {
 		res := <-results
-		if res.err == nil {
+		switch {
+		case res.err == nil:
 			acks++
-		} else {
+		case res.hinted:
+			hinted++
+		default:
 			errs = append(errs, fmt.Sprintf("%s: %v", res.node.ID, res.err))
 		}
-		if acks >= r.m.WriteQuorum {
-			// Quorum met. The remaining pushes keep running on their own
-			// goroutines (results is buffered) so healthy followers still
-			// converge; the ack returns now.
+		if acks+hinted >= r.m.WriteQuorum {
+			// Quorum met (durable copies plus durable hints). The remaining
+			// pushes keep running on their own goroutines (results is
+			// buffered) so healthy followers still converge; the ack
+			// returns now.
 			r.metrics.observeQuorum(time.Since(start).Seconds(), true)
 			return nil
 		}
 	}
 	sort.Strings(errs)
 	r.metrics.observeQuorum(time.Since(start).Seconds(), false)
-	return &QuorumError{Acks: acks, Quorum: r.m.WriteQuorum, Errs: errs}
+	return &QuorumError{Acks: acks, Hinted: hinted, Quorum: r.m.WriteQuorum, Errs: errs}
 }
 
 // push sends one replica record to one follower, retrying once on

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,19 @@ const maxProxyBytes = 1 << 20
 // shards' own ingest cap (larger than submit bodies — a batch carries
 // many events).
 const maxIngestProxyBytes = 4 << 20
+
+// DeadlineHeader carries the client's absolute deadline (Unix
+// milliseconds) from the router to the shards: the router stamps it on
+// every forwarded request so a shard stops working on an answer nobody
+// is waiting for, and clients may set it themselves to bound a whole
+// routed request including failover. See Router.boundCtx.
+const DeadlineHeader = "X-Granula-Deadline"
+
+// defaultRetryBudget bounds failover attempts per routed request when
+// RouterOptions.RetryBudget is 0: the first attempt plus this many
+// retries. It caps retry storms — with every owner slow, a request
+// costs at most 1+budget shard timeouts, not R of them.
+const defaultRetryBudget = 3
 
 // RouterOptions tunes NewRouter; zero values select defaults.
 type RouterOptions struct {
@@ -40,6 +54,17 @@ type RouterOptions struct {
 	// HealthTimeout bounds the per-shard /healthz probes behind /cluster
 	// and /healthz; 0 selects 1 s.
 	HealthTimeout time.Duration
+	// Detector, when set, makes routing failure-aware: owners the
+	// detector marks Down are demoted to the tail of every replica set
+	// (writes promote the next ring owner, reads route around the
+	// corpse), and transport errors seen by the proxy feed the detector
+	// passively. The router does not start or stop the detector.
+	Detector *Detector
+	// RetryBudget caps failover retries per routed request: the first
+	// attempt is free, each further owner costs one retry. 0 selects
+	// defaultRetryBudget; < 0 removes the cap (every owner is tried, the
+	// pre-budget behavior).
+	RetryBudget int
 }
 
 // Router is the thin stateless front of a granula-serve cluster: it
@@ -61,6 +86,8 @@ type Router struct {
 	repairN      int
 	healthT      time.Duration
 	repairT      time.Duration // background probe/repair deadline
+	det          *Detector
+	budget       int // failover retries per request; < 0 = unlimited
 	handler      http.Handler
 
 	rr    atomic.Uint64 // follower-read rotation
@@ -92,10 +119,15 @@ func NewRouter(m *Map, opts RouterOptions) *Router {
 	if repairT <= 0 {
 		repairT = 60 * time.Second
 	}
+	budget := opts.RetryBudget
+	if budget == 0 {
+		budget = defaultRetryBudget
+	}
 	rt := &Router{
 		m: m, client: c,
 		streamClient: &http.Client{Transport: c.Transport},
 		metrics:      mt, repairN: opts.RepairEvery, healthT: ht, repairT: repairT,
+		det: opts.Detector, budget: budget,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", rt.handleSubmit)
@@ -158,10 +190,16 @@ func (rt *Router) forward(ctx context.Context, n Node, method, pathq string, bod
 	if err != nil {
 		return proxyResult{node: n, err: err}
 	}
-	for _, k := range []string{"Content-Type", "If-None-Match", "Accept"} {
+	for _, k := range []string{"Content-Type", "If-None-Match", "Accept", "Last-Event-ID"} {
 		if v := hdr.Get(k); v != "" {
 			req.Header.Set(k, v)
 		}
+	}
+	// Deadline propagation: the shard sees the same absolute deadline
+	// the router is working under, so it stops serving an answer the
+	// client has already given up on.
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set(DeadlineHeader, strconv.FormatInt(dl.UnixMilli(), 10))
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
@@ -197,17 +235,76 @@ func retriableStatus(status int) bool {
 	return status >= 500 || status == http.StatusNotFound || status == http.StatusConflict
 }
 
+// boundCtx derives the request context the whole routed attempt chain
+// runs under. A client-supplied X-Granula-Deadline (absolute Unix
+// milliseconds) becomes a real context deadline, so failover attempts
+// stop the moment the client's budget is spent — a slow shard cannot
+// make the router exceed the client's timeout by retrying elsewhere.
+func (rt *Router) boundCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			return context.WithDeadline(r.Context(), time.UnixMilli(ms))
+		}
+	}
+	return context.WithCancel(r.Context())
+}
+
+// routeOrder applies the failure detector's verdicts to a replica set:
+// owners marked Down are demoted to the tail (kept as last resorts —
+// the detector can be wrong), everything else keeps its ring order.
+// For writes this is automatic promotion — with the primary down, the
+// next ring owner becomes the first (and under hinted handoff,
+// quorum-satisfying) target. Suspect nodes keep their position: a
+// latency spike must not reorder routing, only confirmed death does.
+// countPromotions, when true, counts a demoted former head.
+func (rt *Router) routeOrder(owners []Node, countPromotions bool) []Node {
+	if rt.det == nil || len(owners) < 2 {
+		return owners
+	}
+	live := make([]Node, 0, len(owners))
+	var dead []Node
+	for _, n := range owners {
+		if rt.det.Down(n.ID) {
+			dead = append(dead, n)
+		} else {
+			live = append(live, n)
+		}
+	}
+	if len(dead) == 0 || len(live) == 0 {
+		return owners
+	}
+	if countPromotions && dead[0].ID == owners[0].ID {
+		rt.metrics.countPromotion()
+	}
+	return append(live, dead...)
+}
+
+// observe feeds a proxy outcome to the failure detector, passively.
+// Only transport-level failures count as misses — a shard answering
+// any HTTP status, even 5xx, is alive (it may be degraded read-only,
+// which is not death and must not trigger promotion).
+func (rt *Router) observe(n Node, res proxyResult) {
+	if rt.det == nil {
+		return
+	}
+	rt.det.Observe(n.ID, res.err == nil)
+}
+
 // tryOwners forwards the request to owners in order until one returns a
 // non-retriable response. Retriable results (transport errors, 5xx, and
 // — when failoverMisses — 404/409 from replicas that may simply not
 // hold the record yet) fail over to the next owner and are counted
-// against the shard that failed. When a later owner serves a 2xx after
-// an earlier one answered 404, the missing replica is queued for
-// read-repair. If every owner fails, the least-bad response is
-// returned: a definitive client error beats a 5xx beats a transport
-// error. onServe, when non-nil, observes the result that was served
+// against the shard that failed, bounded by the per-request retry
+// budget and the request deadline (see boundCtx). When a later owner
+// serves a 2xx after an earlier one answered 404, the missing replica
+// is queued for read-repair. If every attempted owner fails, the
+// least-bad response is returned: a definitive client error beats a
+// 5xx beats a transport error; a spent deadline answers 504.
+// onServe, when non-nil, observes the result that was served
 // successfully.
 func (rt *Router) tryOwners(w http.ResponseWriter, r *http.Request, owners []Node, method, pathq string, body []byte, failoverMisses bool, onServe func(proxyResult)) {
+	ctx, cancel := rt.boundCtx(r)
+	defer cancel()
 	var (
 		best      *proxyResult // least-bad failed answer
 		missed404 []Node       // owners that answered 404, repair targets
@@ -222,13 +319,32 @@ func (rt *Router) tryOwners(w http.ResponseWriter, r *http.Request, owners []Nod
 			return 2 // definitive HTTP answer (e.g. 404 everywhere)
 		}
 	}
-	for _, n := range owners {
-		res := rt.forward(r.Context(), n, method, pathq, body, r.Header)
+	for i, n := range owners {
+		if i > 0 && rt.budget >= 0 && i > rt.budget {
+			break // retry budget spent; answer with the least-bad result
+		}
+		if ctx.Err() != nil {
+			rt.metrics.countExhausted()
+			writeRouterError(w, http.StatusGatewayTimeout,
+				"deadline exceeded after %d attempts for %s %s", i, method, pathq)
+			return
+		}
+		res := rt.forward(ctx, n, method, pathq, body, r.Header)
+		rt.observe(n, res)
 		retry := res.err != nil || res.status >= 500 ||
 			(failoverMisses && retriableStatus(res.status))
 		if res.err == nil && res.status == http.StatusNotModified {
 			// 304 is a success: the shard validated the client's ETag.
 			retry = false
+		}
+		if retry && res.err != nil && ctx.Err() != nil {
+			// The transport error is (or masks) the deadline expiring;
+			// report the timeout rather than a misleading 502.
+			rt.metrics.countFailover(n.ID)
+			rt.metrics.countExhausted()
+			writeRouterError(w, http.StatusGatewayTimeout,
+				"deadline exceeded after %d attempts for %s %s", i+1, method, pathq)
+			return
 		}
 		if !retry {
 			if res.status < 300 && len(missed404) > 0 {
@@ -294,7 +410,7 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	owners := rt.m.Owners(peek.ID)
+	owners := rt.routeOrder(rt.m.Owners(peek.ID), true)
 	rt.tryOwners(w, r, owners, http.MethodPost, "/jobs", body, false, nil)
 }
 
@@ -311,14 +427,14 @@ func isMaxBytes(err error, target **http.MaxBytesError) bool {
 // from their store fallback when the primary is down.
 func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	rt.tryOwners(w, r, rt.m.Owners(id), http.MethodGet, "/jobs/"+id, nil, true, nil)
+	rt.tryOwners(w, r, rt.routeOrder(rt.m.Owners(id), false), http.MethodGet, "/jobs/"+id, nil, true, nil)
 }
 
 // handleCancel routes DELETE /jobs/{id} primary-first; only the shard
 // whose executor queued the job can cancel it.
 func (rt *Router) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	rt.tryOwners(w, r, rt.m.Owners(id), http.MethodDelete, "/jobs/"+id, nil, true, nil)
+	rt.tryOwners(w, r, rt.routeOrder(rt.m.Owners(id), false), http.MethodDelete, "/jobs/"+id, nil, true, nil)
 }
 
 // handleRead serves the job-scoped read endpoints (/archive, /query,
@@ -339,6 +455,10 @@ func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
 		rotated = append(rotated, owners[:start]...)
 		owners = rotated
 	}
+	// Detector demotion applies after rotation: follower reads still
+	// spread across the live replicas, but a Down node never takes the
+	// first attempt.
+	owners = rt.routeOrder(owners, false)
 	pathq := r.URL.Path
 	if r.URL.RawQuery != "" {
 		pathq += "?" + r.URL.RawQuery
@@ -551,7 +671,7 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeRouterError(w, http.StatusBadRequest, "read request: %v", err)
 		return
 	}
-	rt.tryOwners(w, r, rt.m.Owners(id), http.MethodPost, "/ingest/"+id, body, false, nil)
+	rt.tryOwners(w, r, rt.routeOrder(rt.m.Owners(id), true), http.MethodPost, "/ingest/"+id, body, false, nil)
 }
 
 // handleWatch passes GET /watch/{id} through as a live SSE stream:
@@ -563,18 +683,24 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 // dropped tail is resumed by the client reconnecting with
 // Last-Event-ID, which is forwarded.
 func (rt *Router) handleWatch(w http.ResponseWriter, r *http.Request) {
-	flusher, canFlush := w.(http.Flusher)
-	if !canFlush {
-		writeRouterError(w, http.StatusInternalServerError, "response writer cannot stream")
-		return
-	}
 	id := r.PathValue("id")
 	pathq := r.URL.Path
 	if r.URL.RawQuery != "" {
 		pathq += "?" + r.URL.RawQuery
 	}
+	if r.URL.Query().Get("poll") == "1" {
+		// Long-poll fallback: the shard answers one buffered JSON batch,
+		// so the ordinary failover path applies — no streaming relay.
+		rt.tryOwners(w, r, rt.routeOrder(rt.m.Owners(id), false), http.MethodGet, pathq, nil, false, nil)
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeRouterError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
 	var best *proxyResult
-	for _, n := range rt.m.Owners(id) {
+	for _, n := range rt.routeOrder(rt.m.Owners(id), false) {
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, n.URL+pathq, nil)
 		if err != nil {
 			writeRouterError(w, http.StatusInternalServerError, "%v", err)
@@ -588,6 +714,9 @@ func (rt *Router) handleWatch(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		resp, err := rt.streamClient.Do(req)
 		rt.metrics.countRequest(n.ID, time.Since(start).Seconds())
+		if rt.det != nil {
+			rt.det.Observe(n.ID, err == nil)
+		}
 		if err != nil {
 			rt.metrics.countFailover(n.ID)
 			if best == nil {
@@ -665,15 +794,16 @@ func (rt *Router) handleDiff(w http.ResponseWriter, r *http.Request) {
 		writeRouterError(w, http.StatusBadRequest, "diff request needs a baselineId")
 		return
 	}
-	rt.tryOwners(w, r, rt.m.Owners(peek.BaselineID), http.MethodPost, "/diff", body, false, nil)
+	rt.tryOwners(w, r, rt.routeOrder(rt.m.Owners(peek.BaselineID), false), http.MethodPost, "/diff", body, false, nil)
 }
 
 // shardHealth is one shard's row in the router's /cluster view.
 type shardHealth struct {
-	ID     string          `json:"id"`
-	URL    string          `json:"url"`
-	Status string          `json:"status"` // up | down
-	Health json.RawMessage `json:"health,omitempty"`
+	ID       string          `json:"id"`
+	URL      string          `json:"url"`
+	Status   string          `json:"status"`             // up | down (this probe)
+	Detector string          `json:"detector,omitempty"` // up | suspect | down (hysteresis verdict)
+	Health   json.RawMessage `json:"health,omitempty"`
 }
 
 // clusterView is the router's /cluster response: the full map plus live
@@ -695,6 +825,9 @@ func (rt *Router) probeShards(ctx context.Context) []shardHealth {
 		go func(i int, n Node) {
 			defer wg.Done()
 			sh := shardHealth{ID: n.ID, URL: n.URL, Status: "down"}
+			if rt.det != nil {
+				sh.Detector = rt.det.State(n.ID).String()
+			}
 			res := rt.forward(ctx, n, http.MethodGet, "/healthz", nil, http.Header{})
 			if res.err == nil && res.status == http.StatusOK && json.Valid(res.body) {
 				sh.Status = "up"

@@ -8,10 +8,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // fakeJob is one record on a fake shard.
@@ -27,12 +29,15 @@ type fakeJob struct {
 type fakeShard struct {
 	id      string
 	srv     *httptest.Server
-	failing atomic.Bool // every request answers 500
+	failing atomic.Bool  // every request answers 500
+	delay   atomic.Int64 // per-request latency in nanoseconds
+	hits    atomic.Int64 // API requests received (probes excluded)
 
-	mu      sync.Mutex
-	jobs    map[string]fakeJob
-	submits []string        // job IDs POSTed to /jobs
-	applied []ReplicaRecord // records POSTed to /internal/replicate
+	mu        sync.Mutex
+	jobs      map[string]fakeJob
+	submits   []string        // job IDs POSTed to /jobs
+	applied   []ReplicaRecord // records POSTed to /internal/replicate
+	deadlines []string        // X-Granula-Deadline values seen on reads
 }
 
 func (fs *fakeShard) setJob(id string, j fakeJob) {
@@ -57,6 +62,10 @@ func newFakeShard(id string) *fakeShard {
 	fs := &fakeShard{id: id, jobs: map[string]fakeJob{}}
 	mux := http.NewServeMux()
 	fail := func(w http.ResponseWriter) bool {
+		fs.hits.Add(1)
+		if d := fs.delay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
 		if fs.failing.Load() {
 			http.Error(w, "injected shard failure", http.StatusInternalServerError)
 			return true
@@ -97,6 +106,11 @@ func newFakeShard(id string) *fakeShard {
 		fmt.Fprintf(w, "{\"count\": %d, \"jobs\": [%s]}\n", len(entries), strings.Join(entries, ", "))
 	})
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if h := r.Header.Get(DeadlineHeader); h != "" {
+			fs.mu.Lock()
+			fs.deadlines = append(fs.deadlines, h)
+			fs.mu.Unlock()
+		}
 		if fail(w) {
 			return
 		}
@@ -171,6 +185,39 @@ func newFakeShard(id string) *fakeShard {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		io.WriteString(w, "{\"status\": \"ok\"}\n")
+	})
+	mux.HandleFunc("GET "+HealthPath, func(w http.ResponseWriter, r *http.Request) {
+		// The probe target answers instantly even when the shard is
+		// "slow" (delay simulates overload, not death), but a failing
+		// shard misses probes — that is how tests kill a node.
+		if fs.failing.Load() {
+			http.Error(w, "injected shard failure", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "{\"shardId\":%q,\"status\":\"ok\"}\n", fs.id)
+	})
+	mux.HandleFunc("GET "+DigestPath, func(w http.ResponseWriter, r *http.Request) {
+		if fail(w) {
+			return
+		}
+		fs.mu.Lock()
+		entries := make([]DigestEntry, 0, len(fs.jobs))
+		for id, j := range fs.jobs {
+			v := j.version
+			if v == 0 {
+				v = 1
+			}
+			entries = append(entries, DigestEntry{ID: id, Version: v})
+		}
+		fs.mu.Unlock()
+		sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+		buf, err := EncodeDigest(entries)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf)
 	})
 	fs.srv = httptest.NewServer(mux)
 	return fs
