@@ -1,0 +1,63 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMostFrequentOrderIndependent feeds mostFrequent random shuffles of
+// the same multiset and requires the same winner every time: the result
+// must depend only on label frequencies (ties to the smallest label),
+// never on message delivery order.
+func TestMostFrequentOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		base := make([]float64, 1+rng.Intn(12))
+		for i := range base {
+			base[i] = float64(rng.Intn(5))
+		}
+		want, wantOK := mostFrequent(append([]float64(nil), base...))
+		if !wantOK {
+			t.Fatalf("trial %d: non-empty input reported not-ok", trial)
+		}
+		for p := 0; p < 10; p++ {
+			perm := append([]float64(nil), base...)
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			if got, ok := mostFrequent(perm); !ok || got != want {
+				t.Fatalf("trial %d: shuffle changed winner: %v, want %v (input %v)", trial, got, want, base)
+			}
+		}
+	}
+}
+
+func TestMostFrequentSmallestLabelOnTies(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3, 1, 3, 1}, 1},
+		{[]float64{9, 7, 5}, 5},
+		{[]float64{2, 2, 5, 5, 5}, 5},
+		{[]float64{4}, 4},
+		{[]float64{8, 8, 1, 1, 8}, 8},
+	}
+	for _, c := range cases {
+		in := append([]float64(nil), c.in...)
+		if got, ok := mostFrequent(in); !ok || got != c.want {
+			t.Fatalf("mostFrequent(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestMostFrequentAllocs is the satellite alloc gate: the sort-based
+// counter must not allocate per call (the old map-based version allocated
+// a map per active vertex per CDLP superstep).
+func TestMostFrequentAllocs(t *testing.T) {
+	msgs := []float64{5, 3, 3, 9, 1, 3, 9, 9, 2, 2, 7, 7, 7, 0}
+	allocs := testing.AllocsPerRun(100, func() {
+		mostFrequent(msgs)
+	})
+	if allocs != 0 {
+		t.Errorf("mostFrequent allocates %v times per call, want 0", allocs)
+	}
+}

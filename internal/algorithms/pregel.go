@@ -8,6 +8,7 @@ package algorithms
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/pregel"
@@ -187,19 +188,30 @@ func (c PregelCDLP) Compute(ctx *pregel.Context, msgs []float64) {
 }
 
 // mostFrequent returns the most frequent value, breaking ties toward the
-// smallest value (the Graphalytics CDLP rule).
+// smallest value (the Graphalytics CDLP rule). It sorts msgs in place and
+// counts runs — no per-call map, so a CDLP superstep allocates nothing per
+// active vertex. Mutating msgs is safe: the engine delivers each vertex a
+// private inbox slice read only by that vertex's Compute call, and the
+// result is order-independent by construction (sorting discards delivery
+// order; equal counts resolve to the smallest label, which a sorted scan
+// visits first).
 func mostFrequent(msgs []float64) (float64, bool) {
 	if len(msgs) == 0 {
 		return 0, false
 	}
-	counts := make(map[float64]int, len(msgs))
-	for _, m := range msgs {
-		counts[m]++
-	}
-	best, bestCount := 0.0, -1
-	for v, c := range counts {
-		if c > bestCount || (c == bestCount && v < best) {
-			best, bestCount = v, c
+	sort.Float64s(msgs)
+	best, bestCount := msgs[0], 1
+	runVal, runCount := msgs[0], 1
+	for _, m := range msgs[1:] {
+		if m == runVal {
+			runCount++
+		} else {
+			runVal, runCount = m, 1
+		}
+		// Strict > keeps the smallest label on ties: values arrive in
+		// ascending order, so an equal count never displaces best.
+		if runCount > bestCount {
+			best, bestCount = runVal, runCount
 		}
 	}
 	return best, true

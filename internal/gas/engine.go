@@ -6,7 +6,6 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/datagen"
 	"repro/internal/dfs"
-	"repro/internal/graph"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -363,52 +362,8 @@ func (j *job) parallelLoad(rp *sim.Proc, comm *mpi.Comm, actor string) {
 	j.em.Infof(op, "BytesLoaded", "%d", slice)
 }
 
-// initState builds the vertex cut, local adjacency, and initial vertex
-// values.
+// initState builds the vertex cut, local CSR fragments, and initial vertex
+// values (see newState).
 func (j *job) initState() {
-	g := j.ds.Graph
-	k := j.cfg.Machines
-	vc := graph.NewVertexCut(g.NumVertices(), j.ds.Edges, k, j.cfg.CutStrategy)
-	st := &state{
-		g:            g,
-		vc:           vc,
-		k:            k,
-		pool:         sim.NewHostPool(j.cfg.HostParallelism),
-		localOut:     make([]map[graph.VertexID][]graph.VertexID, k),
-		localIn:      make([]map[graph.VertexID][]graph.VertexID, k),
-		values:       make([]float64, g.NumVertices()),
-		active:       make([]bool, g.NumVertices()),
-		localArcs:    vc.ArcCounts(),
-		replicaCount: make([]int64, k),
-		masterCount:  make([]int64, k),
-	}
-	for m := 0; m < k; m++ {
-		st.localOut[m] = map[graph.VertexID][]graph.VertexID{}
-		st.localIn[m] = map[graph.VertexID][]graph.VertexID{}
-	}
-	for i, e := range j.ds.Edges {
-		m := vc.ArcMachine(i)
-		st.localOut[m][e.Src] = append(st.localOut[m][e.Src], e.Dst)
-		st.localIn[m][e.Dst] = append(st.localIn[m][e.Dst], e.Src)
-	}
-	if !g.Directed() {
-		// Undirected graphs store each input edge once in ds.Edges but the
-		// Graph materializes both directions; mirror that locally.
-		for i, e := range j.ds.Edges {
-			m := vc.ArcMachine(i)
-			st.localOut[m][e.Dst] = append(st.localOut[m][e.Dst], e.Src)
-			st.localIn[m][e.Src] = append(st.localIn[m][e.Src], e.Dst)
-		}
-	}
-	for v := int64(0); v < g.NumVertices(); v++ {
-		val, act := j.program.Init(graph.VertexID(v), g)
-		st.values[v] = val
-		st.active[v] = act
-		st.masterCount[vc.Master(graph.VertexID(v))]++
-		for _, m := range vc.Replicas(graph.VertexID(v)) {
-			st.replicaCount[m]++
-		}
-	}
-	st.resetCounters()
-	j.st = st
+	j.st = newState(j.ds.Graph, j.ds.Edges, j.cfg.Machines, j.cfg.CutStrategy, j.cfg.HostParallelism, j.program)
 }

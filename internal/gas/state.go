@@ -15,16 +15,23 @@ import (
 // each fan across the host pool (see ensurePrepared); every fork writes
 // only vertex-disjoint or shard-private state, and shard results merge in
 // fixed shard order, so results are identical for every pool size.
+//
+// Hot-loop layout: per-machine adjacency lives in local CSR fragments
+// (graph.Fragment) — flat offset/target arrays behind dense local vertex
+// IDs — instead of map[VertexID][]VertexID, and every per-iteration
+// structure (active list, shard counters, activation buffers) is
+// preallocated and reused, so a steady-state iteration allocates only the
+// fork/join bookkeeping (see TestGASIterationKernelAllocs).
 type state struct {
 	g    *graph.Graph
 	vc   *graph.VertexCut
 	k    int
 	pool *sim.HostPool
 
-	// localOut[m][v] / localIn[m][v] are v's out-/in-neighbors along
-	// edges placed on machine m.
-	localOut []map[graph.VertexID][]graph.VertexID
-	localIn  []map[graph.VertexID][]graph.VertexID
+	// frags[m] is machine m's local CSR mirror of the arcs the vertex cut
+	// placed there; neighbor order reproduces the historical map-append
+	// order byte for byte (see graph.BuildFragments).
+	frags []*graph.Fragment
 
 	values []float64
 	active []bool
@@ -53,6 +60,21 @@ type state struct {
 	// vertex-disjoint slots; only active vertices are cleared and read.
 	accs   []float64
 	hasAcc []bool
+
+	// activeList is the master vertex list of the iteration being
+	// prepared, rebuilt into the same buffer each iteration.
+	activeList []graph.VertexID
+	// shards are the per-fork private counter sets, allocated once for the
+	// pool's full parallelism and reset each iteration.
+	shards []*gasShard
+
+	// Parameters of the iteration being prepared, read by the persistent
+	// fork closures (set before, cleared after, each ForkJoin fan-out).
+	prepProg   Program
+	prepIter   int
+	prepShards int
+
+	gatherFn, applyFn, scatterFn func(int)
 }
 
 // gasShard holds one shard's private counters and activation candidates
@@ -87,6 +109,55 @@ func newGasShards(n, k int) []*gasShard {
 	return shards
 }
 
+// reset zeroes the shard for reuse in the next iteration.
+func (sh *gasShard) reset() {
+	for m := range sh.gatherEdges {
+		sh.gatherEdges[m] = 0
+		sh.applyCount[m] = 0
+		sh.scatterEdges[m] = 0
+		for d := range sh.partialMsgs[m] {
+			sh.partialMsgs[m][d] = 0
+			sh.syncMsgs[m][d] = 0
+		}
+	}
+	sh.activations = sh.activations[:0]
+}
+
+// newState builds the full semantic state for a job: the vertex cut, the
+// per-machine local CSR fragments, initial vertex values and activity, and
+// the preallocated iteration structures. It is engine-free so kernel tests
+// and benchmarks can drive iterations without a simulation around them.
+func newState(g *graph.Graph, edges []graph.Edge, k int, strategy graph.VertexCutStrategy, hostParallelism int, prog Program) *state {
+	vc := graph.NewVertexCut(g.NumVertices(), edges, k, strategy)
+	st := &state{
+		g:            g,
+		vc:           vc,
+		k:            k,
+		pool:         sim.NewHostPool(hostParallelism),
+		frags:        graph.BuildFragments(g.NumVertices(), edges, vc, !g.Directed()),
+		values:       make([]float64, g.NumVertices()),
+		active:       make([]bool, g.NumVertices()),
+		localArcs:    vc.ArcCounts(),
+		replicaCount: make([]int64, k),
+		masterCount:  make([]int64, k),
+	}
+	for v := int64(0); v < g.NumVertices(); v++ {
+		val, act := prog.Init(graph.VertexID(v), g)
+		st.values[v] = val
+		st.active[v] = act
+		st.masterCount[vc.Master(graph.VertexID(v))]++
+		for _, m := range vc.Replicas(graph.VertexID(v)) {
+			st.replicaCount[m]++
+		}
+	}
+	st.resetCounters()
+	st.shards = newGasShards(st.pool.Parallelism(), k)
+	st.gatherFn = st.gatherShard
+	st.applyFn = st.applyShard
+	st.scatterFn = st.scatterShard
+	return st
+}
+
 func (st *state) resetCounters() {
 	st.prepared = -1
 	st.gatherEdges = make([]int64, st.k)
@@ -102,6 +173,130 @@ func (st *state) resetCounters() {
 	st.nextActive = make([]bool, st.g.NumVertices())
 	st.accs = make([]float64, st.g.NumVertices())
 	st.hasAcc = make([]bool, st.g.NumVertices())
+}
+
+// chunk returns shard i's contiguous slice of the active list.
+func (st *state) chunk(i int) []graph.VertexID {
+	lo := i * len(st.activeList) / st.prepShards
+	hi := (i + 1) * len(st.activeList) / st.prepShards
+	return st.activeList[lo:hi]
+}
+
+// neighbors returns v's local neighbors on machine m along dir as up to
+// two slices, iterated first-then-second. For Both this is in-neighbors
+// followed by out-neighbors — the same fold order the old concatenated
+// lists had, which matters because Gather/Sum are floating-point folds.
+func (st *state) neighbors(dir Direction, m int, v graph.VertexID) (first, second []graph.VertexID) {
+	f := st.frags[m]
+	switch dir {
+	case In:
+		return f.InNeighbors(v), nil
+	case Out:
+		return f.OutNeighbors(v), nil
+	case Both:
+		return f.InNeighbors(v), f.OutNeighbors(v)
+	default:
+		return nil, nil
+	}
+}
+
+// gatherShard accumulates each active vertex's neighborhood into its own
+// accs slot. Reads only values written before this iteration.
+func (st *state) gatherShard(i int) {
+	prog, it := st.prepProg, st.prepIter
+	dir := prog.GatherDir()
+	sh := st.shards[i]
+	for _, v := range st.chunk(i) {
+		master := st.vc.Master(v)
+		first := true
+		var acc float64
+		for _, m := range st.vc.Replicas(v) {
+			ins, outs := st.neighbors(dir, m, v)
+			n := len(ins) + len(outs)
+			if n == 0 {
+				continue
+			}
+			sh.gatherEdges[m] += int64(n)
+			localFirst := true
+			var partial float64
+			fold := func(o graph.VertexID) {
+				g := prog.Gather(it, v, o, st.values[o])
+				if localFirst {
+					partial = g
+					localFirst = false
+				} else {
+					partial = prog.Sum(partial, g)
+				}
+			}
+			for _, o := range ins {
+				fold(o)
+			}
+			for _, o := range outs {
+				fold(o)
+			}
+			if m != master {
+				sh.partialMsgs[m][master]++
+			}
+			if first {
+				acc = partial
+				first = false
+			} else {
+				acc = prog.Sum(acc, partial)
+			}
+		}
+		if !first {
+			st.accs[v] = acc
+			st.hasAcc[v] = true
+		}
+	}
+}
+
+// applyShard updates its own vertices' values in place — every Apply reads
+// only its own vertex's old value and accumulator.
+func (st *state) applyShard(i int) {
+	prog, it := st.prepProg, st.prepIter
+	sh := st.shards[i]
+	for _, v := range st.chunk(i) {
+		master := st.vc.Master(v)
+		sh.applyCount[master]++
+		nv := prog.Apply(it, v, st.values[v], st.accs[v], st.hasAcc[v])
+		if nv != st.values[v] {
+			st.values[v] = nv
+			for _, m := range st.vc.Replicas(v) {
+				if m != master {
+					sh.syncMsgs[master][m]++
+				}
+			}
+		}
+	}
+}
+
+// scatterShard reads applied values everywhere and records activation
+// candidates privately; activation itself happens at the merge.
+func (st *state) scatterShard(i int) {
+	prog, it := st.prepProg, st.prepIter
+	dir := prog.ScatterDir()
+	sh := st.shards[i]
+	for _, v := range st.chunk(i) {
+		for _, m := range st.vc.Replicas(v) {
+			ins, outs := st.neighbors(dir, m, v)
+			n := len(ins) + len(outs)
+			if n == 0 {
+				continue
+			}
+			sh.scatterEdges[m] += int64(n)
+			for _, o := range ins {
+				if prog.Scatter(it, v, o, st.values[v], st.values[o]) {
+					sh.activations = append(sh.activations, o)
+				}
+			}
+			for _, o := range outs {
+				if prog.Scatter(it, v, o, st.values[v], st.values[o]) {
+					sh.activations = append(sh.activations, o)
+				}
+			}
+		}
+	}
 }
 
 // ensurePrepared runs the semantic gather/apply/scatter for iteration it
@@ -129,14 +324,12 @@ func (st *state) ensurePrepared(prog Program, it int) {
 		st.nextActive[v] = false
 	}
 
-	gatherDir := prog.GatherDir()
-	scatterDir := prog.ScatterDir()
-
-	// Collect the active master list in vertex order for determinism.
-	var activeList []graph.VertexID
+	// Collect the active master list in vertex order for determinism,
+	// reusing the buffer across iterations.
+	st.activeList = st.activeList[:0]
 	for v := int64(0); v < st.g.NumVertices(); v++ {
 		if st.active[v] {
-			activeList = append(activeList, graph.VertexID(v))
+			st.activeList = append(st.activeList, graph.VertexID(v))
 		}
 	}
 
@@ -147,105 +340,26 @@ func (st *state) ensurePrepared(prog Program, it int) {
 	// work is self-contained, so the chunk boundaries never change any
 	// result — only how the host wall-clock work is divided.
 	nShards := st.pool.Parallelism()
-	if nShards > len(activeList) {
-		nShards = len(activeList)
+	if nShards > len(st.activeList) {
+		nShards = len(st.activeList)
 	}
 	if nShards < 1 {
 		nShards = 1
 	}
-	shards := newGasShards(nShards, st.k)
-	chunk := func(i int) []graph.VertexID {
-		lo := i * len(activeList) / nShards
-		hi := (i + 1) * len(activeList) / nShards
-		return activeList[lo:hi]
+	st.prepProg, st.prepIter, st.prepShards = prog, it, nShards
+	for i := 0; i < nShards; i++ {
+		st.shards[i].reset()
 	}
 
-	// Gather: accumulate each active vertex's neighborhood into its own
-	// accs slot. Reads only values written before this iteration.
-	for _, v := range activeList {
+	for _, v := range st.activeList {
 		st.hasAcc[v] = false
 	}
-	st.pool.ForkJoin(nShards, func(i int) {
-		sh := shards[i]
-		for _, v := range chunk(i) {
-			master := st.vc.Master(v)
-			first := true
-			var acc float64
-			for _, m := range st.vc.Replicas(v) {
-				edges := st.gatherNeighbors(gatherDir, m, v)
-				if len(edges) == 0 {
-					continue
-				}
-				sh.gatherEdges[m] += int64(len(edges))
-				localFirst := true
-				var partial float64
-				for _, o := range edges {
-					g := prog.Gather(it, v, o, st.values[o])
-					if localFirst {
-						partial = g
-						localFirst = false
-					} else {
-						partial = prog.Sum(partial, g)
-					}
-				}
-				if m != master {
-					sh.partialMsgs[m][master]++
-				}
-				if first {
-					acc = partial
-					first = false
-				} else {
-					acc = prog.Sum(acc, partial)
-				}
-			}
-			if !first {
-				st.accs[v] = acc
-				st.hasAcc[v] = true
-			}
-		}
-	})
-
-	// Apply: each shard updates its own vertices' values in place — every
-	// Apply reads only its own vertex's old value and accumulator.
-	st.pool.ForkJoin(nShards, func(i int) {
-		sh := shards[i]
-		for _, v := range chunk(i) {
-			master := st.vc.Master(v)
-			sh.applyCount[master]++
-			nv := prog.Apply(it, v, st.values[v], st.accs[v], st.hasAcc[v])
-			if nv != st.values[v] {
-				st.values[v] = nv
-				for _, m := range st.vc.Replicas(v) {
-					if m != master {
-						sh.syncMsgs[master][m]++
-					}
-				}
-			}
-		}
-	})
-
-	// Scatter: reads applied values everywhere, records activation
-	// candidates privately; activation itself happens at the merge.
-	st.pool.ForkJoin(nShards, func(i int) {
-		sh := shards[i]
-		for _, v := range chunk(i) {
-			for _, m := range st.vc.Replicas(v) {
-				edges := st.gatherNeighbors(scatterDir, m, v)
-				if len(edges) == 0 {
-					continue
-				}
-				sh.scatterEdges[m] += int64(len(edges))
-				for _, o := range edges {
-					if prog.Scatter(it, v, o, st.values[v], st.values[o]) {
-						sh.activations = append(sh.activations, o)
-					}
-				}
-			}
-		}
-	})
+	st.pool.ForkJoin(nShards, st.gatherFn)
+	st.pool.ForkJoin(nShards, st.applyFn)
+	st.pool.ForkJoin(nShards, st.scatterFn)
 
 	// Merge shard counters and activations in shard-index order.
-	for _, sh := range shards {
+	for _, sh := range st.shards[:nShards] {
 		for m := 0; m < st.k; m++ {
 			st.gatherEdges[m] += sh.gatherEdges[m]
 			st.applyCount[m] += sh.applyCount[m]
@@ -263,32 +377,7 @@ func (st *state) ensurePrepared(prog Program, it int) {
 		}
 	}
 	st.active, st.nextActive = st.nextActive, st.active
-}
-
-// gatherNeighbors returns v's neighbors on machine m along the given edge
-// direction.
-func (st *state) gatherNeighbors(dir Direction, m int, v graph.VertexID) []graph.VertexID {
-	switch dir {
-	case In:
-		return st.localIn[m][v]
-	case Out:
-		return st.localOut[m][v]
-	case Both:
-		in := st.localIn[m][v]
-		out := st.localOut[m][v]
-		if len(in) == 0 {
-			return out
-		}
-		if len(out) == 0 {
-			return in
-		}
-		both := make([]graph.VertexID, 0, len(in)+len(out))
-		both = append(both, in...)
-		both = append(both, out...)
-		return both
-	default:
-		return nil
-	}
+	st.prepProg = nil
 }
 
 // finishIteration advances the iteration counter; called once per

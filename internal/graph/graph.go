@@ -37,10 +37,13 @@ type Graph struct {
 }
 
 // FromEdges builds a graph with n vertices from the given edge list. For
-// undirected graphs each input edge {u,v} becomes arcs u->v and v->u.
-// Self-loops are kept; duplicate edges are kept (multigraph semantics),
-// matching what platforms see when loading raw edge lists. Edges
-// referencing vertices outside [0,n) yield an error.
+// undirected graphs each input edge {u,v} becomes arcs u->v and v->u —
+// except self-loops {v,v}, which materialize a single arc v->v (the
+// Graphalytics degree convention: an undirected self-loop contributes 1 to
+// the degree, not 2; symmetrizing it would silently double it). Duplicate
+// edges are kept (multigraph semantics), matching what platforms see when
+// loading raw edge lists. Edges referencing vertices outside [0,n) yield
+// an error.
 func FromEdges(n int64, edges []Edge, directed bool) (*Graph, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("graph: negative vertex count %d", n)
@@ -59,6 +62,9 @@ func FromEdges(n int64, edges []Edge, directed bool) (*Graph, error) {
 		sym := make([]Edge, 0, 2*len(edges))
 		sym = append(sym, edges...)
 		for _, e := range edges {
+			if e.Src == e.Dst {
+				continue // self-loop: one arc, not two (see doc comment)
+			}
 			sym = append(sym, Edge{Src: e.Dst, Dst: e.Src})
 		}
 		g.outOffsets, g.outTargets = buildCSR(n, sym, false)

@@ -156,13 +156,13 @@ func NewVertexCut(n int64, edges []Edge, k int, strategy VertexCutStrategy) *Ver
 		replicas: make([][]int, n),
 		arcCount: make([]int64, k),
 	}
-	seen := make([]map[int]bool, n)
+	// seen[v*k+m] records that machine m already holds a replica of v — a
+	// flat bitset instead of per-vertex maps, which dominated the profile
+	// of large cuts.
+	seen := make([]bool, n*int64(k))
 	record := func(v VertexID, m int) {
-		if seen[v] == nil {
-			seen[v] = map[int]bool{}
-		}
-		if !seen[v][m] {
-			seen[v][m] = true
+		if !seen[int64(v)*int64(k)+int64(m)] {
+			seen[int64(v)*int64(k)+int64(m)] = true
 			vc.replicas[v] = append(vc.replicas[v], m)
 		}
 	}
@@ -208,17 +208,19 @@ func hashPair(a, b VertexID, k int) int {
 	return int(x % uint64(k))
 }
 
-func (vc *VertexCut) greedyPlace(e Edge, seen []map[int]bool) int {
-	srcSet, dstSet := seen[e.Src], seen[e.Dst]
+func (vc *VertexCut) greedyPlace(e Edge, seen []bool) int {
+	k := int64(vc.k)
+	srcRow := seen[int64(e.Src)*k : int64(e.Src)*k+k]
+	dstRow := seen[int64(e.Dst)*k : int64(e.Dst)*k+k]
 	// Prefer a machine holding both endpoints; then one endpoint; break
 	// ties by load; fall back to the least-loaded machine.
 	best, bestScore := -1, -1
 	for m := 0; m < vc.k; m++ {
 		score := 0
-		if srcSet != nil && srcSet[m] {
+		if srcRow[m] {
 			score++
 		}
-		if dstSet != nil && dstSet[m] {
+		if dstRow[m] {
 			score++
 		}
 		if score > bestScore || (score == bestScore && best >= 0 && vc.arcCount[m] < vc.arcCount[best]) {

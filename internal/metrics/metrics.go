@@ -6,6 +6,8 @@
 package metrics
 
 import (
+	"math"
+	"sort"
 	"strconv"
 
 	"repro/internal/archive"
@@ -158,32 +160,80 @@ func (r InfoRate) Derive(op *archive.Operation, _ *archive.Job) (string, bool) {
 // CPUDuring derives the total CPU time (cpu-seconds, all nodes) consumed
 // during the operation's interval, from the job's environment samples —
 // the mapping of resource usage to operations behind Figures 6 and 7.
-type CPUDuring struct{}
+//
+// The rule is applied to every operation of a job, so a naive scan over
+// all samples per operation is O(operations x samples) and dominates
+// archive assembly on deep traces. Instead the rule lazily builds a
+// CPU-only view of the job's samples (in slice order, which the monitor
+// keeps time-ascending) and binary-searches each operation's (start, end]
+// window. The window is summed left to right — the same additions in the
+// same order as the full scan — so derived values are bit-identical.
+type CPUDuring struct {
+	job    *archive.Job
+	times  []float64
+	used   []float64
+	sorted bool
+}
 
 // Name implements Rule.
-func (CPUDuring) Name() string { return "CPUSeconds" }
+func (r *CPUDuring) Name() string { return "CPUSeconds" }
 
 // Derive implements Rule.
-func (CPUDuring) Derive(op *archive.Operation, job *archive.Job) (string, bool) {
+func (r *CPUDuring) Derive(op *archive.Operation, job *archive.Job) (string, bool) {
 	if len(job.EnvSamples) == 0 {
 		return "", false
 	}
+	if r.job != job {
+		r.index(job)
+	}
 	total := 0.0
-	for _, s := range job.EnvSamples {
+	if r.sorted {
 		// A sample at time t covers (t-interval, t]; attribute it to the
 		// operation containing its end point.
-		if s.IsCPU() && s.Time > op.Start && s.Time <= op.End {
-			total += s.Used
+		lo := sort.Search(len(r.times), func(i int) bool { return r.times[i] > op.Start })
+		hi := sort.Search(len(r.times), func(i int) bool { return r.times[i] > op.End })
+		for _, u := range r.used[lo:hi] {
+			total += u
+		}
+	} else {
+		// Unsorted samples (hand-built jobs): match the window sample by
+		// sample in slice order, as the pre-index implementation did.
+		for i, t := range r.times {
+			if t > op.Start && t <= op.End {
+				total += r.used[i]
+			}
 		}
 	}
 	return formatFloat(total), true
+}
+
+// index extracts the CPU samples of job in slice order and records
+// whether their times are non-decreasing (true for monitor-assembled
+// jobs, which sort samples by time at assembly).
+func (r *CPUDuring) index(job *archive.Job) {
+	r.job = job
+	r.times = r.times[:0]
+	r.used = r.used[:0]
+	r.sorted = true
+	prev := math.Inf(-1)
+	for _, s := range job.EnvSamples {
+		if !s.IsCPU() {
+			continue
+		}
+		if s.Time < prev {
+			r.sorted = false
+		}
+		prev = s.Time
+		r.times = append(r.times, s.Time)
+		r.used = append(r.used, s.Used)
+	}
 }
 
 // StandardRules returns the default rule set Granula applies to every
 // archived job.
 func StandardRules() *RuleSet {
 	return &RuleSet{
-		Global: []Rule{Duration{}, PercentOfJob{}, CPUDuring{}},
+		Global: []Rule{Duration{}, PercentOfJob{}, &CPUDuring{}},
 		PerMission: map[string][]Rule{
 			"ProcessGraph": {ChildCount{Key: "Supersteps", Mission: "Superstep"}},
 			"Superstep": {

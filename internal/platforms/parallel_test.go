@@ -45,19 +45,23 @@ func TestArchiveBytesIdenticalAcrossPoolSizes(t *testing.T) {
 	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
 		pools = append(pools, n)
 	}
-	for _, platform := range []string{"Giraph", "PowerGraph"} {
-		for _, algorithm := range []string{"BFS", "PageRank"} {
-			t.Run(platform+"/"+algorithm, func(t *testing.T) {
-				serial := archiveBytes(t, ds, platform, algorithm, 1)
-				for _, par := range pools[1:] {
-					got := archiveBytes(t, ds, platform, algorithm, par)
-					if !bytes.Equal(got, serial) {
-						t.Fatalf("parallelism=%d archive differs from serial: %d vs %d bytes (first diff at %d)",
-							par, len(got), len(serial), firstDiff(got, serial))
-					}
+	combos := []struct{ platform, algorithm string }{
+		{"Giraph", "BFS"}, {"Giraph", "PageRank"}, {"Giraph", "SSSP"},
+		{"Giraph", "WCC"}, {"Giraph", "CDLP"},
+		{"PowerGraph", "BFS"}, {"PowerGraph", "PageRank"},
+		{"PowerGraph", "SSSP"}, {"PowerGraph", "WCC"},
+	}
+	for _, c := range combos {
+		t.Run(c.platform+"/"+c.algorithm, func(t *testing.T) {
+			serial := archiveBytes(t, ds, c.platform, c.algorithm, 1)
+			for _, par := range pools[1:] {
+				got := archiveBytes(t, ds, c.platform, c.algorithm, par)
+				if !bytes.Equal(got, serial) {
+					t.Fatalf("parallelism=%d archive differs from serial: %d vs %d bytes (first diff at %d)",
+						par, len(got), len(serial), firstDiff(got, serial))
 				}
-			})
-		}
+			}
+		})
 	}
 }
 

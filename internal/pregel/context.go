@@ -15,9 +15,12 @@ import (
 // Compute calls for different workers may run on different host
 // goroutines (see jobState.prepareSuperstep), so every mutation a Context
 // performs lands either on state owned exclusively by this vertex's
-// worker (values, halt flags, inboxes of owned vertices) or in the
-// worker's private outbox, which the engine merges in worker-index order
-// at the superstep barrier.
+// worker (values, halt flags) or in the worker's private outbox, which
+// the engine merges in worker-index order at the superstep barrier.
+//
+// Each worker owns one long-lived Context embedded in its outbox; the
+// engine repoints vertex/superstep between Compute calls so the hot loop
+// performs no per-vertex allocation.
 type Context struct {
 	js        *jobState
 	out       *workerOutbox
@@ -53,15 +56,28 @@ func (c *Context) OutNeighbors() []graph.VertexID {
 	return c.js.g.OutNeighbors(c.vertex)
 }
 
-// SendTo sends msg to vertex dst, delivered in the next superstep.
+// SendTo sends msg to vertex dst, delivered in the next superstep. A dst
+// outside [0, NumVertices) is a vertex-program bug; it fails the job with
+// a VertexProgramError at the superstep barrier instead of panicking the
+// whole engine, so one misbehaving program cannot take down the process.
 func (c *Context) SendTo(dst graph.VertexID, msg float64) {
-	c.js.sendShard(c.out, c.worker, dst, msg)
+	if dst < 0 || int64(dst) >= c.js.g.NumVertices() {
+		if c.out.sendErr == nil {
+			c.out.sendErr = &VertexProgramError{
+				Superstep: c.superstep,
+				Vertex:    c.vertex,
+				Problem:   fmt.Sprintf("SendTo(%d) outside [0,%d)", dst, c.js.g.NumVertices()),
+			}
+		}
+		return
+	}
+	c.js.sendShard(c.out, dst, msg)
 }
 
 // SendToAllNeighbors sends msg along every out-edge.
 func (c *Context) SendToAllNeighbors(msg float64) {
 	for _, dst := range c.js.g.OutNeighbors(c.vertex) {
-		c.js.sendShard(c.out, c.worker, dst, msg)
+		c.js.sendShard(c.out, dst, msg)
 	}
 }
 
@@ -86,6 +102,109 @@ func (c *Context) AggregatedValue(name string) float64 {
 	return c.js.aggCur[name]
 }
 
+// VertexProgramError reports a vertex program violating the engine API
+// contract (e.g. sending to a nonexistent vertex). It fails the job it
+// occurred in — a per-job conformance error, mirroring core.CheckJob's
+// error model — rather than panicking the shared process.
+type VertexProgramError struct {
+	Superstep int
+	Vertex    graph.VertexID
+	Problem   string
+}
+
+func (e *VertexProgramError) Error() string {
+	return fmt.Sprintf("pregel: vertex program error at superstep %d, vertex %d: %s",
+		e.Superstep, e.Vertex, e.Problem)
+}
+
+// msgArena is one superstep's delivered messages in a flat preallocated
+// layout: vertex v's inbox is vals[off[v] : off[v]+cnt[v]]. Two arenas
+// double-buffer the BSP message state (current and next superstep); the
+// next arena is rebuilt at each merge barrier by a count → prefix-sum →
+// fill pass over the worker outboxes in worker-index order, which
+// reproduces exactly the per-vertex message order of the historical
+// per-vertex append slices. The backing arrays are reused across
+// supersteps, so steady-state delivery allocates nothing.
+type msgArena struct {
+	off  []int64
+	cnt  []int32
+	vals []float64
+}
+
+func newMsgArena(n int64) *msgArena {
+	return &msgArena{off: make([]int64, n), cnt: make([]int32, n)}
+}
+
+// msgs returns v's inbox slice (nil when empty). The slice aliases arena
+// storage; a vertex program may mutate it in place during its own Compute
+// call (each region is read by exactly one vertex per superstep).
+func (a *msgArena) msgs(v graph.VertexID) []float64 {
+	c := a.cnt[v]
+	if c == 0 {
+		return nil
+	}
+	o := a.off[v]
+	return a.vals[o : o+int64(c)]
+}
+
+// deliver rebuilds the arena from the outboxes' pending messages,
+// preserving worker-index order then per-worker send order.
+func (a *msgArena) deliver(outboxes []*workerOutbox) {
+	for v := range a.cnt {
+		a.cnt[v] = 0
+	}
+	total := 0
+	for _, out := range outboxes {
+		total += len(out.dsts)
+		for _, dst := range out.dsts {
+			a.cnt[dst]++
+		}
+	}
+	var off int64
+	for v := range a.off {
+		a.off[v] = off
+		off += int64(a.cnt[v])
+	}
+	if cap(a.vals) < total {
+		a.vals = make([]float64, total)
+	} else {
+		a.vals = a.vals[:total]
+	}
+	for v := range a.cnt {
+		a.cnt[v] = 0 // reuse as fill cursor, restored by the fill itself
+	}
+	for _, out := range outboxes {
+		for i, dst := range out.dsts {
+			a.vals[a.off[dst]+int64(a.cnt[dst])] = out.vals[i]
+			a.cnt[dst]++
+		}
+	}
+}
+
+// clone deep-copies the arena (for checkpoints).
+func (a *msgArena) clone() *msgArena {
+	return &msgArena{
+		off:  append([]int64(nil), a.off...),
+		cnt:  append([]int32(nil), a.cnt...),
+		vals: append([]float64(nil), a.vals...),
+	}
+}
+
+// copyFrom overwrites the arena with b's contents, reusing capacity.
+func (a *msgArena) copyFrom(b *msgArena) {
+	a.off = append(a.off[:0], b.off...)
+	a.cnt = append(a.cnt[:0], b.cnt...)
+	a.vals = append(a.vals[:0], b.vals...)
+}
+
+// clear empties the arena (cnt is authoritative; off may go stale).
+func (a *msgArena) clear() {
+	for v := range a.cnt {
+		a.cnt[v] = 0
+	}
+	a.vals = a.vals[:0]
+}
+
 // jobState is the shared in-memory state of a running job. The simulation
 // kernel is cooperative (one process at a time), so the superstep barrier
 // structure needs no locking; within one superstep the semantic compute is
@@ -98,10 +217,16 @@ type jobState struct {
 	values []float64
 	halted []bool
 
-	// inboxCur is read during the current superstep; message delivery
-	// appends to inboxNext at the merge barrier.
-	inboxCur  [][]float64
-	inboxNext [][]float64
+	// ownedLists[w] is worker w's owned vertices in ascending ID order —
+	// the iteration order of the old full-scan-and-filter loop, without
+	// the scan. ownedArcs[w] is the matching out-arc total.
+	ownedLists [][]graph.VertexID
+	ownedArcs  []int64
+
+	// arenaCur is read during the current superstep; the merge barrier
+	// rebuilds arenaNext from the worker outboxes.
+	arenaCur  *msgArena
+	arenaNext *msgArena
 
 	combiner  Combiner
 	superstep int
@@ -109,31 +234,40 @@ type jobState struct {
 	aggCur, aggNext map[string]float64
 
 	// Host-parallel superstep compute. outboxes[w] is worker w's private
-	// buffer for one superstep; shardLastEpoch/shardLastIdx implement
-	// sender-side combining per (worker, destination) without touching
-	// shared state: a row is only ever written by its own worker's fork.
-	hostPool       *sim.HostPool
-	outboxes       []*workerOutbox
-	shardLastEpoch [][]int64 // [from][dst] -> epoch of the combined entry
-	shardLastIdx   [][]int64 // [from][dst] -> index into outbox vals
-	sendEpoch      int64     // bumped once per prepareSuperstep, never reused
-	preparedStep   int       // superstep the outboxes currently hold; -1 none
+	// buffer for one superstep, including its sender-side combining tags:
+	// every row is only ever written by its own worker's fork.
+	hostPool     *sim.HostPool
+	outboxes     []*workerOutbox
+	sendEpoch    int32 // bumped once per prepareSuperstep, never reused
+	preparedStep int   // superstep the outboxes currently hold; -1 none
+
+	// Parameters of the superstep being prepared, read by the persistent
+	// fork function (shardFn) so the fan-out allocates no fresh closure.
+	prog     Program
+	prepStep int
+	shardFn  func(int)
+
+	// sendErr is the first vertex-program error observed, merged in
+	// worker-index order at the barrier — deterministic across pool sizes.
+	sendErr error
 
 	// Per-superstep, per-worker work counters, reset each superstep.
 	vertexCount  []int64   // Compute invocations
 	sendCount    []int64   // messages passed to send (pre-combining)
 	recvCount    []int64   // messages delivered to the worker's vertices
 	wireCount    [][]int64 // [from][toWorker] combined messages
-	deliveredCnt int64     // messages delivered into inboxNext this superstep
+	deliveredCnt int64     // messages delivered into the next arena this superstep
 
 	totalWireMessages int64
 }
 
 // workerOutbox buffers one worker's superstep effects until the merge
 // barrier: outgoing messages in send order, aggregator contributions in
-// call order, and the work counters the trace reports per worker.
+// call order, and the work counters the trace reports per worker. It also
+// embeds the worker's reusable Context so Compute calls never allocate.
 type workerOutbox struct {
-	epoch    int64
+	ctx      Context
+	epoch    int32
 	dsts     []graph.VertexID
 	vals     []float64
 	aggNames []string
@@ -141,10 +275,19 @@ type workerOutbox struct {
 	wire     []int64 // per destination worker, combined messages
 	sent     int64   // pre-combining sends
 	vertices int64   // Compute invocations
-	received int64   // messages read from inboxCur
+	received int64   // messages read from the current arena
+	sendErr  error   // first API-contract violation this superstep
+
+	// lastEpoch/lastIdx implement sender-side combining per destination:
+	// a dst whose tag matches the current epoch already has a combined
+	// entry at vals[lastIdx[dst]]. Allocated only when the job has a
+	// combiner; int32 suffices because epochs count supersteps and idx
+	// indexes one worker's sends within one superstep.
+	lastEpoch []int32
+	lastIdx   []int32
 }
 
-func (o *workerOutbox) reset(epoch int64) {
+func (o *workerOutbox) reset(epoch int32) {
 	o.epoch = epoch
 	o.dsts = o.dsts[:0]
 	o.vals = o.vals[:0]
@@ -154,63 +297,69 @@ func (o *workerOutbox) reset(epoch int64) {
 		o.wire[d] = 0
 	}
 	o.sent, o.vertices, o.received = 0, 0, 0
+	o.sendErr = nil
 }
 
 func newJobState(g *graph.Graph, part graph.Partitioner, workers int, combiner Combiner, pool *sim.HostPool) *jobState {
 	n := g.NumVertices()
 	js := &jobState{
-		g:              g,
-		owner:          make([]int, n),
-		values:         make([]float64, n),
-		halted:         make([]bool, n),
-		inboxCur:       make([][]float64, n),
-		inboxNext:      make([][]float64, n),
-		combiner:       combiner,
-		aggCur:         map[string]float64{},
-		aggNext:        map[string]float64{},
-		hostPool:       pool,
-		outboxes:       make([]*workerOutbox, workers),
-		shardLastEpoch: make([][]int64, workers),
-		shardLastIdx:   make([][]int64, workers),
-		preparedStep:   -1,
-		vertexCount:    make([]int64, workers),
-		sendCount:      make([]int64, workers),
-		recvCount:      make([]int64, workers),
-		wireCount:      make([][]int64, workers),
+		g:            g,
+		owner:        make([]int, n),
+		values:       make([]float64, n),
+		halted:       make([]bool, n),
+		ownedLists:   make([][]graph.VertexID, workers),
+		ownedArcs:    make([]int64, workers),
+		arenaCur:     newMsgArena(n),
+		arenaNext:    newMsgArena(n),
+		combiner:     combiner,
+		aggCur:       map[string]float64{},
+		aggNext:      map[string]float64{},
+		hostPool:     pool,
+		outboxes:     make([]*workerOutbox, workers),
+		preparedStep: -1,
+		vertexCount:  make([]int64, workers),
+		sendCount:    make([]int64, workers),
+		recvCount:    make([]int64, workers),
+		wireCount:    make([][]int64, workers),
 	}
 	for w := 0; w < workers; w++ {
 		js.wireCount[w] = make([]int64, workers)
 		js.outboxes[w] = &workerOutbox{wire: make([]int64, workers)}
-		js.shardLastEpoch[w] = make([]int64, n)
-		js.shardLastIdx[w] = make([]int64, n)
+		js.outboxes[w].ctx = Context{js: js, out: js.outboxes[w], worker: w}
+		if combiner != nil {
+			js.outboxes[w].lastEpoch = make([]int32, n)
+			js.outboxes[w].lastIdx = make([]int32, n)
+		}
 	}
 	for v := int64(0); v < n; v++ {
-		js.owner[v] = part.Partition(graph.VertexID(v))
+		w := part.Partition(graph.VertexID(v))
+		js.owner[v] = w
+		js.ownedLists[w] = append(js.ownedLists[w], graph.VertexID(v))
+		js.ownedArcs[w] += g.OutDegree(graph.VertexID(v))
 	}
 	for v := range js.values {
 		js.values[v] = math.Inf(1)
 	}
+	js.shardFn = js.computeShard
 	return js
 }
 
-// sendShard records a message from a vertex on worker from into the
-// worker's private outbox, applying sender-side combining when a combiner
-// is configured. Within one superstep all of a worker's messages to dst
-// collapse into one combined wire message, exactly as in the serial
-// engine where each worker's sends to a destination were contiguous.
-func (js *jobState) sendShard(out *workerOutbox, from int, dst graph.VertexID, msg float64) {
-	if dst < 0 || int64(dst) >= js.g.NumVertices() {
-		panic(fmt.Sprintf("pregel: message to unknown vertex %d", dst))
-	}
+// sendShard records a message into the sending worker's private outbox,
+// applying sender-side combining when a combiner is configured. Within
+// one superstep all of a worker's messages to dst collapse into one
+// combined wire message, exactly as in the serial engine where each
+// worker's sends to a destination were contiguous. Callers must have
+// validated dst (see Context.SendTo).
+func (js *jobState) sendShard(out *workerOutbox, dst graph.VertexID, msg float64) {
 	out.sent++
 	if js.combiner != nil {
-		if js.shardLastEpoch[from][dst] == out.epoch {
-			i := js.shardLastIdx[from][dst]
+		if out.lastEpoch[dst] == out.epoch {
+			i := out.lastIdx[dst]
 			out.vals[i] = js.combiner.Combine(out.vals[i], msg)
 			return
 		}
-		js.shardLastEpoch[from][dst] = out.epoch
-		js.shardLastIdx[from][dst] = int64(len(out.vals))
+		out.lastEpoch[dst] = out.epoch
+		out.lastIdx[dst] = int32(len(out.vals))
 	}
 	out.dsts = append(out.dsts, dst)
 	out.vals = append(out.vals, msg)
@@ -220,22 +369,22 @@ func (js *jobState) sendShard(out *workerOutbox, from int, dst graph.VertexID, m
 // computeShard runs the vertex program over one worker's owned active
 // vertices, recording every effect either in worker-owned state (values,
 // halt flags) or in the worker's private outbox. It runs on a host pool
-// goroutine; it must not touch any other worker's state.
-func (js *jobState) computeShard(program Program, w, step int) {
+// goroutine; it must not touch any other worker's state. The program and
+// superstep come from jobState fields set by prepareSuperstep before the
+// fork, so this function itself is the pool's persistent work function.
+func (js *jobState) computeShard(w int) {
+	program, step := js.prog, js.prepStep
 	out := js.outboxes[w]
 	out.reset(js.sendEpoch)
-	n := js.g.NumVertices()
-	for v := int64(0); v < n; v++ {
-		if js.owner[v] != w {
-			continue
-		}
-		inbox := js.inboxCur[v]
+	out.ctx.superstep = step
+	for _, v := range js.ownedLists[w] {
+		inbox := js.arenaCur.msgs(v)
 		if js.halted[v] && len(inbox) == 0 {
 			continue
 		}
 		js.halted[v] = false
-		ctx := Context{js: js, out: out, worker: w, vertex: graph.VertexID(v), superstep: step}
-		program.Compute(&ctx, inbox)
+		out.ctx.vertex = v
+		program.Compute(&out.ctx, inbox)
 		out.vertices++
 		out.received += int64(len(inbox))
 	}
@@ -255,12 +404,12 @@ func (js *jobState) prepareSuperstep(program Program, step int) {
 	}
 	js.preparedStep = step
 	js.sendEpoch++
-	js.hostPool.ForkJoin(len(js.outboxes), func(w int) {
-		js.computeShard(program, w, step)
-	})
+	js.prog, js.prepStep = program, step
+	js.hostPool.ForkJoin(len(js.outboxes), js.shardFn)
+	js.prog = nil
 	for from, out := range js.outboxes {
-		for i, dst := range out.dsts {
-			js.inboxNext[dst] = append(js.inboxNext[dst], out.vals[i])
+		if out.sendErr != nil && js.sendErr == nil {
+			js.sendErr = out.sendErr
 		}
 		for i, name := range out.aggNames {
 			js.aggNext[name] += out.aggVals[i]
@@ -273,6 +422,7 @@ func (js *jobState) prepareSuperstep(program Program, step int) {
 		js.deliveredCnt += wire
 		js.totalWireMessages += wire
 	}
+	js.arenaNext.deliver(js.outboxes)
 }
 
 // stateSnapshot is a checkpoint of the BSP state taken before a superstep
@@ -280,7 +430,7 @@ func (js *jobState) prepareSuperstep(program Program, step int) {
 type stateSnapshot struct {
 	values    []float64
 	halted    []bool
-	inboxCur  [][]float64
+	inbox     *msgArena
 	aggCur    map[string]float64
 	superstep int
 }
@@ -290,14 +440,9 @@ func (js *jobState) snapshot() *stateSnapshot {
 	s := &stateSnapshot{
 		values:    append([]float64(nil), js.values...),
 		halted:    append([]bool(nil), js.halted...),
-		inboxCur:  make([][]float64, len(js.inboxCur)),
+		inbox:     js.arenaCur.clone(),
 		aggCur:    map[string]float64{},
 		superstep: js.superstep,
-	}
-	for v, msgs := range js.inboxCur {
-		if len(msgs) > 0 {
-			s.inboxCur[v] = append([]float64(nil), msgs...)
-		}
 	}
 	for k, v := range js.aggCur {
 		s.aggCur[k] = v
@@ -311,11 +456,8 @@ func (js *jobState) snapshot() *stateSnapshot {
 func (js *jobState) restore(s *stateSnapshot) {
 	copy(js.values, s.values)
 	copy(js.halted, s.halted)
-	for v := range js.inboxCur {
-		js.inboxCur[v] = js.inboxCur[v][:0]
-		js.inboxCur[v] = append(js.inboxCur[v], s.inboxCur[v]...)
-		js.inboxNext[v] = js.inboxNext[v][:0]
-	}
+	js.arenaCur.copyFrom(s.inbox)
+	js.arenaNext.clear()
 	js.aggCur = map[string]float64{}
 	for k, v := range s.aggCur {
 		js.aggCur[k] = v
@@ -339,16 +481,13 @@ func (js *jobState) restore(s *stateSnapshot) {
 	js.preparedStep = -1
 }
 
-// swapBuffers advances BSP state at the superstep barrier: next-inboxes
-// become current, aggregators rotate, per-superstep counters reset. It
+// swapBuffers advances BSP state at the superstep barrier: the next arena
+// becomes current, aggregators rotate, per-superstep counters reset. It
 // returns the number of messages that will be delivered and the number of
 // vertices that remain active.
 func (js *jobState) swapBuffers() (delivered int64, active int64) {
 	delivered = js.deliveredCnt
-	js.inboxCur, js.inboxNext = js.inboxNext, js.inboxCur
-	for v := range js.inboxNext {
-		js.inboxNext[v] = js.inboxNext[v][:0]
-	}
+	js.arenaCur, js.arenaNext = js.arenaNext, js.arenaCur
 	js.aggCur, js.aggNext = js.aggNext, js.aggCur
 	for k := range js.aggNext {
 		delete(js.aggNext, k)

@@ -321,12 +321,7 @@ func (j *job) workerLoad(wp *sim.Proc, w *worker, cmd workerCmd) {
 
 	// Build local stores for the edges this worker owns (actual count
 	// from the real partition, scaled).
-	ownedArcs := int64(0)
-	for v := int64(0); v < j.ds.Graph.NumVertices(); v++ {
-		if j.js.owner[v] == w.id {
-			ownedArcs += j.ds.Graph.OutDegree(graph.VertexID(v))
-		}
-	}
+	ownedArcs := j.js.ownedArcs[w.id]
 	buildCPU := float64(ownedArcs) * j.cfg.WorkScale * c.BuildCPUPerEdge
 	w.node.ExecParallel(wp, buildCPU, j.cfg.ParseThreads)
 	j.em.Infof(local, "EdgesOwned", "%d", ownedArcs)
@@ -478,13 +473,7 @@ func (j *job) workerRestore(wp *sim.Proc, w *worker, cmd workerCmd) {
 
 // ownedVertices counts the vertices partitioned to a worker.
 func (j *job) ownedVertices(workerID int) int64 {
-	var owned int64
-	for v := int64(0); v < j.ds.Graph.NumVertices(); v++ {
-		if j.js.owner[v] == workerID {
-			owned++
-		}
-	}
-	return owned
+	return int64(len(j.js.ownedLists[workerID]))
 }
 
 // masterSync models the master's coordination work at the superstep
@@ -517,6 +506,12 @@ func (j *job) workerSuperstep(wp *sim.Proc, w *worker, cmd workerCmd) {
 	// prepareSuperstep); the rest just read their prepared counters.
 	comp := j.em.Start(local, w.actor(), "Compute")
 	j.js.prepareSuperstep(j.program, cmd.step)
+	if j.js.sendErr != nil {
+		// A vertex program violated the engine contract; fail this job
+		// (every worker observes the same first error) and finish the
+		// superstep's bookkeeping so the barrier protocol stays intact.
+		j.fail(j.js.sendErr)
+	}
 	vertices := j.js.vertexCount[w.id]
 	sent := j.js.sendCount[w.id]
 	received := j.js.recvCount[w.id]

@@ -174,35 +174,54 @@ func (e *Emitter) Infof(op OpRef, key, format string, args ...any) {
 // Encode writes records to w in the line format, one record per line.
 func Encode(w io.Writer, records []Record) error {
 	bw := bufio.NewWriter(w)
+	var tbuf [32]byte
 	for _, r := range records {
-		var sb strings.Builder
-		sb.WriteString("GRANULA")
-		writeField(&sb, "t", strconv.FormatFloat(r.Time, 'f', -1, 64))
-		writeField(&sb, "job", r.Job)
-		writeField(&sb, "op", r.Op)
-		writeField(&sb, "event", string(r.Event))
+		bw.WriteString("GRANULA t=\"")
+		// Float formatting never produces characters that need escaping,
+		// so the quoted form is the bare digits.
+		bw.Write(strconv.AppendFloat(tbuf[:0], r.Time, 'f', -1, 64))
+		bw.WriteByte('"')
+		writeField(bw, "job", r.Job)
+		writeField(bw, "op", r.Op)
+		writeField(bw, "event", string(r.Event))
 		if r.Event == EventStart {
-			writeField(&sb, "parent", r.Parent)
-			writeField(&sb, "actor", r.Actor)
-			writeField(&sb, "mission", r.Mission)
+			writeField(bw, "parent", r.Parent)
+			writeField(bw, "actor", r.Actor)
+			writeField(bw, "mission", r.Mission)
 		}
 		if r.Event == EventInfo {
-			writeField(&sb, "key", r.Key)
-			writeField(&sb, "value", r.Value)
+			writeField(bw, "key", r.Key)
+			writeField(bw, "value", r.Value)
 		}
-		sb.WriteByte('\n')
-		if _, err := bw.WriteString(sb.String()); err != nil {
-			return err
-		}
+		bw.WriteByte('\n')
 	}
+	// bufio's error is sticky; one check at flush covers every write above.
 	return bw.Flush()
 }
 
-func writeField(sb *strings.Builder, key, value string) {
-	sb.WriteByte(' ')
-	sb.WriteString(key)
-	sb.WriteByte('=')
-	sb.WriteString(strconv.Quote(value))
+func writeField(bw *bufio.Writer, key, value string) {
+	bw.WriteByte(' ')
+	bw.WriteString(key)
+	bw.WriteByte('=')
+	// For printable ASCII without quote or backslash — every value the
+	// simulated platforms emit — strconv.Quote is the identity plus
+	// surrounding quotes; skip its rune-by-rune escape walk.
+	if plainASCII(value) {
+		bw.WriteByte('"')
+		bw.WriteString(value)
+		bw.WriteByte('"')
+		return
+	}
+	bw.WriteString(strconv.Quote(value))
+}
+
+func plainASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c > 0x7e || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
 }
 
 // Parse reads records in the line format, ignoring blank lines and lines
@@ -231,13 +250,49 @@ func Parse(r io.Reader) ([]Record, error) {
 	return out, nil
 }
 
+// parseLine parses `key="quoted value"` pairs separated by spaces,
+// dispatching each field into the record as it is scanned — no
+// intermediate map, and unescaped values alias the line (Parse runs once
+// per job log line, so this path carries the whole assembly pipeline).
 func parseLine(line string) (Record, error) {
 	var rec Record
-	fields, err := splitFields(line)
-	if err != nil {
-		return rec, err
-	}
-	for key, value := range fields {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		eq := strings.IndexByte(line[i:], '=')
+		if eq < 0 {
+			return rec, fmt.Errorf("malformed field at %q", line[i:])
+		}
+		key := line[i : i+eq]
+		i += eq + 1
+		if i >= len(line) || line[i] != '"' {
+			return rec, fmt.Errorf("unquoted value for %q", key)
+		}
+		// Find the closing quote, respecting escapes.
+		j := i + 1
+		for j < len(line) {
+			if line[j] == '\\' {
+				j += 2
+				continue
+			}
+			if line[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(line) {
+			return rec, fmt.Errorf("unterminated value for %q", key)
+		}
+		value, err := unquoteField(line[i : j+1])
+		if err != nil {
+			return rec, fmt.Errorf("bad value for %q: %w", key, err)
+		}
+		i = j + 1
 		switch key {
 		case "t":
 			t, err := strconv.ParseFloat(value, 64)
@@ -276,49 +331,15 @@ func parseLine(line string) (Record, error) {
 	return rec, nil
 }
 
-// splitFields parses `key="quoted value"` pairs separated by spaces.
-func splitFields(line string) (map[string]string, error) {
-	out := map[string]string{}
-	i := 0
-	for i < len(line) {
-		for i < len(line) && line[i] == ' ' {
-			i++
-		}
-		if i >= len(line) {
-			break
-		}
-		eq := strings.IndexByte(line[i:], '=')
-		if eq < 0 {
-			return nil, fmt.Errorf("malformed field at %q", line[i:])
-		}
-		key := line[i : i+eq]
-		i += eq + 1
-		if i >= len(line) || line[i] != '"' {
-			return nil, fmt.Errorf("unquoted value for %q", key)
-		}
-		// Find the closing quote, respecting escapes.
-		j := i + 1
-		for j < len(line) {
-			if line[j] == '\\' {
-				j += 2
-				continue
-			}
-			if line[j] == '"' {
-				break
-			}
-			j++
-		}
-		if j >= len(line) {
-			return nil, fmt.Errorf("unterminated value for %q", key)
-		}
-		value, err := strconv.Unquote(line[i : j+1])
-		if err != nil {
-			return nil, fmt.Errorf("bad value for %q: %w", key, err)
-		}
-		out[key] = value
-		i = j + 1
+// unquoteField undoes writeField's quoting. Values of printable ASCII
+// without escapes — everything Encode's fast path emits — unquote to the
+// interior substring with no allocation; anything else goes through
+// strconv.Unquote for full escape handling.
+func unquoteField(q string) (string, error) {
+	if inner := q[1 : len(q)-1]; plainASCII(inner) {
+		return inner, nil
 	}
-	return out, nil
+	return strconv.Unquote(q)
 }
 
 // JobIDs returns the distinct job IDs present in records, sorted.
