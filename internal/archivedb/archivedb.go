@@ -29,6 +29,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -144,6 +145,14 @@ type Stats struct {
 	RecoveredFromSnapshot int
 	TruncatedBytes        int64
 	SnapshotDiscarded     bool
+	// Columnar segment sidecar counters. FullReads counts body reads
+	// (a scan), TailReads stats-footer reads (a prune check): a query
+	// that prunes a segment adds a tail read but no full read.
+	ColSegWrites    uint64
+	ColSegDeletes   uint64
+	ColSegFullReads uint64
+	ColSegTailReads uint64
+	ColSegSweeps    uint64
 }
 
 // recordLoc is one live record's position in the WAL.
@@ -175,6 +184,16 @@ type DB struct {
 
 	readMu    sync.Mutex
 	readFiles map[uint64]*os.File
+
+	// Columnar segment sidecar (colstore.go). colMu serializes file
+	// writes/deletes; reads go lock-free against the atomically-renamed
+	// files. The counters are atomic so read paths never take db.mu.
+	colMu        sync.Mutex
+	colWrites    atomic.Uint64
+	colDeletes   atomic.Uint64
+	colFullReads atomic.Uint64
+	colTailReads atomic.Uint64
+	colSweeps    atomic.Uint64
 
 	// Group-commit queue (guarded by gcMu, drained by commitLoop).
 	gcMu     sync.Mutex
@@ -540,9 +559,16 @@ func (db *DB) Delete(id string) error {
 	if err != nil {
 		return err
 	}
-	return db.appendShared(frame, func(uint64, int64) {
+	if err := db.appendShared(frame, func(uint64, int64) {
 		db.dropLocked(id)
-	})
+	}); err != nil {
+		return err
+	}
+	// Drop the columnar segment with the record so a segment scan can
+	// never resurrect a deleted job. Readers only consult segments for
+	// ids still in the index, and the compaction sweep mops up if this
+	// removal loses a race or crashes — so best-effort is safe here.
+	return db.DeleteSegment(id)
 }
 
 // Get returns the payload stored under id. The read re-verifies the
@@ -665,6 +691,11 @@ func (db *DB) Stats() Stats {
 		s.LiveBytes += st.liveBytes
 	}
 	s.DeadBytes = s.WALBytes - s.LiveBytes
+	s.ColSegWrites = db.colWrites.Load()
+	s.ColSegDeletes = db.colDeletes.Load()
+	s.ColSegFullReads = db.colFullReads.Load()
+	s.ColSegTailReads = db.colTailReads.Load()
+	s.ColSegSweeps = db.colSweeps.Load()
 	return s
 }
 

@@ -119,6 +119,7 @@ func (db *DB) compactLocked() error {
 		delete(db.segs, v)
 	}
 	syncDir(db.dir)
+	db.sweepSegmentsLocked()
 	db.stats.Compactions++
 	db.stats.ReclaimedBytes += victimBytes - moved
 	return nil

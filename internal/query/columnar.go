@@ -194,13 +194,13 @@ func compileExpr(e expr, c *Columns) rowEval {
 func compilePredicate(pr predicate, c *Columns) rowEval {
 	switch strings.ToLower(pr.field) {
 	case "mission":
-		return compileSymbolPredicate(pr, c, c.mission)
+		return symbolPredicate(pr, c.syms.strs, c.syms.floats, c.syms.finite, c.mission)
 	case "actor":
-		return compileSymbolPredicate(pr, c, c.actor)
+		return symbolPredicate(pr, c.syms.strs, c.syms.floats, c.syms.finite, c.actor)
 	case "id":
-		return compileSymbolPredicate(pr, c, c.id)
+		return symbolPredicate(pr, c.syms.strs, c.syms.floats, c.syms.finite, c.id)
 	case "depth":
-		return compileDepthPredicate(pr, c)
+		return depthPredicate(pr, c.depth)
 	case "duration":
 		return compileNumericPredicate(pr, c.dur)
 	case "start":
@@ -254,29 +254,29 @@ func evalStringPredicate(actual, op, value string) bool {
 	return false
 }
 
-// compileSymbolPredicate evaluates pr once per distinct symbol into a
-// bitmap; row evaluation is then a single indexed load. Exact by
-// construction: every row with symbol s has fieldValue == syms.strs[s],
-// and the symtab's precomputed (float, finite) mirrors what
-// compareValues would decide per comparison — without re-parsing.
-func compileSymbolPredicate(pr predicate, c *Columns, col []uint32) rowEval {
-	st := &c.syms
-	match := make([]bool, len(st.strs))
+// symbolPredicate evaluates pr once per distinct symbol into a bitmap;
+// row evaluation is then a single indexed load. Exact by construction:
+// every row with symbol s has fieldValue == strs[s], and the
+// precomputed (float, finite) per symbol mirrors what compareValues
+// would decide per comparison — without re-parsing. Shared between the
+// in-memory Columns path and decoded segment Frames.
+func symbolPredicate(pr predicate, strs []string, floats []float64, finite []bool, col []uint32) rowEval {
+	match := make([]bool, len(strs))
 	if pr.op == "~" {
-		for s, str := range st.strs {
+		for s, str := range strs {
 			match[s] = strings.Contains(str, pr.value)
 		}
 		return func(r int) bool { return match[col[r]] }
 	}
 	vf, err := strconv.ParseFloat(pr.value, 64)
 	vOK := err == nil && isFinite(vf)
-	for s, str := range st.strs {
+	for s, str := range strs {
 		var cmp int
-		if vOK && st.finite[s] {
+		if vOK && finite[s] {
 			switch {
-			case st.floats[s] < vf:
+			case floats[s] < vf:
 				cmp = -1
-			case st.floats[s] > vf:
+			case floats[s] > vf:
 				cmp = 1
 			}
 		} else {
@@ -306,11 +306,11 @@ func opHolds(op string, cmp int) bool {
 	return false
 }
 
-// compileDepthPredicate evaluates pr once per distinct depth (depths
-// are dense 0..max) into a bitmap.
-func compileDepthPredicate(pr predicate, c *Columns) rowEval {
+// depthPredicate evaluates pr once per distinct depth (depths are
+// dense 0..max) into a bitmap.
+func depthPredicate(pr predicate, depth []int32) rowEval {
 	max := int32(0)
-	for _, d := range c.depth {
+	for _, d := range depth {
 		if d > max {
 			max = d
 		}
@@ -319,7 +319,7 @@ func compileDepthPredicate(pr predicate, c *Columns) rowEval {
 	for d := range match {
 		match[d] = evalStringPredicate(strconv.Itoa(d), pr.op, pr.value)
 	}
-	return func(r int) bool { return match[c.depth[r]] }
+	return func(r int) bool { return match[depth[r]] }
 }
 
 // compileNumericPredicate compiles pr against a float64 column. The hot

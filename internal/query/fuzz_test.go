@@ -1,6 +1,7 @@
 package query
 
 import (
+	"encoding/json"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -55,4 +56,96 @@ func TestParseNeverPanicsProperty(t *testing.T) {
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// FuzzQueryV2 drives the whole v2 pipeline with arbitrary input: any
+// string that parses must plan and execute over both the columnar
+// frame and the tree walker without panicking, the two engines must
+// produce identical partials, and rendering must succeed. Segment
+// encode/decode of the fuzz job must also round-trip to the same
+// aggregation.
+func FuzzQueryV2(f *testing.F) {
+	seeds := []string{
+		`from jobs group by mission`,
+		`from jobs where mission = Compute group by mission, actor agg count, sum(duration), p95(duration)`,
+		`from jobs where job.runtime > 1 group by job.platform agg max(job.runtime) order by max(job.runtime) desc`,
+		`from jobs top 3 mission by sum(duration)`,
+		`group by depth agg count, min(mission), max(actor) order by count desc limit 2`,
+		`from jobs where not (duration <= 0 or mission = "5.0") group by actor agg avg(duration)`,
+		`mission = Compute order by duration desc limit 5`,
+		`from jobs where`, `group by`, `top`, `agg`, `from jobs top 99999999 mission by count`,
+		"from jobs group by mission agg \x00", `from jobs group by mission limit 99`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	job := &archive.Job{
+		ID: "fz", Platform: "Giraph",
+		Root: &archive.Operation{
+			ID: "r", Mission: "Job", Actor: "Client", Start: -1, End: 20,
+			Children: []*archive.Operation{
+				{ID: "a", Mission: "5", Actor: "Worker-0", Start: 0, End: 5,
+					Infos: map[string]string{"K": "1"}},
+				{ID: "b", Mission: "5.0", Actor: "Worker-1", Start: 0, End: 0},
+				{ID: "c", Mission: "Compute", Actor: "Worker-0", Start: 2, End: 9,
+					Derived: map[string]string{"D": "x"}},
+			},
+		},
+	}
+	meta := JobMeta{ID: "fz", Platform: "Giraph", Algorithm: "BFS", Runtime: 21, Supersteps: 2, Operations: 4}
+	frame := BuildColumns(job).Frame(meta)
+	seg, err := EncodeSegment(frame, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	decoded, stats, err := DecodeSegment(seg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if !q.IsAggregate() {
+			_ = q.Select(job)
+			_ = q.SelectColumns(BuildColumns(job))
+			return
+		}
+		jpF, errF := q.AggregateFrame(frame)
+		jpT, errT := q.AggregateTree(job, meta)
+		if (errF != nil) != (errT != nil) {
+			t.Fatalf("%q: frame err=%v, tree err=%v", input, errF, errT)
+		}
+		if errF != nil {
+			return
+		}
+		bf, _ := json.Marshal(jpF)
+		bt, _ := json.Marshal(jpT)
+		if string(bf) != string(bt) {
+			t.Fatalf("%q: frame and tree partials diverge:\n%s\nvs\n%s", input, bf, bt)
+		}
+		// The decoded segment agrees too, unless the query needs
+		// operation details segments do not store.
+		jpS, errS := q.AggregateFrame(decoded)
+		if q.NeedsOps() {
+			if errS == nil {
+				t.Fatalf("%q needs ops but ran on a segment frame", input)
+			}
+		} else if errS != nil {
+			t.Fatalf("%q: segment frame: %v", input, errS)
+		} else {
+			bs, _ := json.Marshal(jpS)
+			if string(bs) != string(bf) {
+				t.Fatalf("%q: segment partial diverges:\n%s\nvs\n%s", input, bs, bf)
+			}
+			// Pruning must be sound for whatever predicate came in.
+			if q.PruneAgainst(stats) && jpF.Rows != 0 {
+				t.Fatalf("%q: pruned a segment with %d matching rows", input, jpF.Rows)
+			}
+		}
+		if _, err := q.RenderAggregate(input, "jobs", "", []JobPartial{jpF}); err != nil {
+			t.Fatalf("%q: render: %v", input, err)
+		}
+	})
 }

@@ -23,12 +23,21 @@ import (
 	"repro/internal/archive"
 )
 
-// Query is a parsed query.
+// Query is a parsed query. The v1 form filters, orders, and limits the
+// rows of one job. The v2 extensions (group by / top / from jobs) turn
+// it into an aggregate query, optionally spanning every archived job;
+// see v2.go for the aggregate grammar.
 type Query struct {
 	where   expr
 	orderBy string
 	desc    bool
 	limit   int
+
+	fromJobs bool
+	groupBy  []string
+	aggs     []aggSpec
+	orderAgg *aggSpec
+	top      bool
 }
 
 // Parse compiles a query string.
@@ -39,13 +48,43 @@ func Parse(input string) (*Query, error) {
 	}
 	p := &parser{toks: toks}
 	q := &Query{limit: -1}
-	if !p.peekIs("order") && !p.peekIs("limit") && !p.done() {
+	if p.peekIs("from") {
+		p.next()
+		if !p.peekIs("jobs") {
+			return nil, fmt.Errorf("query: expected 'jobs' after 'from'")
+		}
+		p.next()
+		q.fromJobs = true
+	}
+	if p.peekIs("where") {
+		// `where` belongs to the cross-job form; the v1 single-job
+		// grammar starts with the bare expression.
+		if !q.fromJobs {
+			return nil, fmt.Errorf("query: 'where' is only used after 'from jobs'")
+		}
+		p.next()
+		if p.done() || p.peekIs("group") || p.peekIs("top") {
+			return nil, fmt.Errorf("query: expected expression after 'where'")
+		}
+		q.where, err = p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+	} else if !p.peekIs("order") && !p.peekIs("limit") && !p.peekIs("group") && !p.peekIs("top") && !p.done() {
+		if q.fromJobs {
+			return nil, fmt.Errorf("query: expected 'where', 'group by', or 'top' after 'from jobs'")
+		}
 		q.where, err = p.parseOr()
 		if err != nil {
 			return nil, err
 		}
 	}
-	if p.peekIs("order") {
+	if err := p.parseAggClause(q); err != nil {
+		return nil, err
+	}
+	// A `top` clause defines its own ordering and limit; trailing
+	// order/limit clauses fall through to the trailing-input error.
+	if !q.top && p.peekIs("order") {
 		p.next()
 		if !p.peekIs("by") {
 			return nil, fmt.Errorf("query: expected 'by' after 'order'")
@@ -54,7 +93,13 @@ func Parse(input string) (*Query, error) {
 		if p.done() {
 			return nil, fmt.Errorf("query: expected field after 'order by'")
 		}
-		q.orderBy = p.next().text
+		if q.IsAggregate() {
+			if err := p.parseAggOrderTarget(q); err != nil {
+				return nil, err
+			}
+		} else {
+			q.orderBy = p.next().text
+		}
 		if p.peekIs("desc") {
 			q.desc = true
 			p.next()
@@ -62,7 +107,7 @@ func Parse(input string) (*Query, error) {
 			p.next()
 		}
 	}
-	if p.peekIs("limit") {
+	if !q.top && p.peekIs("limit") {
 		p.next()
 		if p.done() {
 			return nil, fmt.Errorf("query: expected number after 'limit'")
@@ -75,6 +120,9 @@ func Parse(input string) (*Query, error) {
 	}
 	if !p.done() {
 		return nil, fmt.Errorf("query: unexpected trailing input near %q", p.next().text)
+	}
+	if err := q.validate(); err != nil {
+		return nil, err
 	}
 	return q, nil
 }
@@ -130,7 +178,7 @@ func lex(input string) ([]token, error) {
 		switch {
 		case ch == ' ' || ch == '\t' || ch == '\n':
 			i++
-		case ch == '(' || ch == ')':
+		case ch == '(' || ch == ')' || ch == ',':
 			toks = append(toks, token{text: string(ch)})
 			i++
 		case ch == '"':
@@ -157,7 +205,7 @@ func lex(input string) ([]token, error) {
 			i = j
 		default:
 			j := i
-			for j < len(input) && !strings.ContainsRune(" \t\n()=!<>~\"", rune(input[j])) {
+			for j < len(input) && !strings.ContainsRune(" \t\n(),=!<>~\"", rune(input[j])) {
 				j++
 			}
 			toks = append(toks, token{text: input[i:j]})
@@ -302,6 +350,12 @@ func validateField(f string) error {
 	}
 	if strings.HasPrefix(lf, "info.") || strings.HasPrefix(lf, "derived.") {
 		return nil
+	}
+	if strings.HasPrefix(lf, "job.") {
+		if jobFieldKnown(lf) {
+			return nil
+		}
+		return fmt.Errorf("query: unknown job field %q", f)
 	}
 	return fmt.Errorf("query: unknown field %q", f)
 }

@@ -79,6 +79,12 @@ type Metrics struct {
 	ingestEvents   uint64
 	ingestRejected uint64
 	watchConns     uint64
+
+	// Analytical-query (v2) counters: queries served, and segments
+	// scanned vs pruned by zone maps across all of them.
+	query2Queries uint64
+	query2Scanned uint64
+	query2Pruned  uint64
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -117,6 +123,19 @@ func (m *Metrics) CountShed() {
 	}
 	m.mu.Lock()
 	m.shed++
+	m.mu.Unlock()
+}
+
+// CountQuery2 counts one served analytical (v2) query and how many
+// per-job segments it scanned vs pruned via zone maps.
+func (m *Metrics) CountQuery2(scanned, pruned int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.query2Queries++
+	m.query2Scanned += uint64(scanned)
+	m.query2Pruned += uint64(pruned)
 	m.mu.Unlock()
 }
 
@@ -330,6 +349,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, storeJobs int, storag
 	counter("granula_stream_ingest_events_total", "Events applied through live-stream ingest.", m.ingestEvents)
 	counter("granula_stream_ingest_rejected_total", "Rejected live-stream ingest batches.", m.ingestRejected)
 	counter("granula_watch_connections_total", "Accepted /watch SSE connections.", m.watchConns)
+	counter("granula_query2_queries_total", "Analytical (v2) aggregate queries served.", m.query2Queries)
+	counter("granula_query2_segments_scanned_total", "Columnar segments scanned by v2 queries.", m.query2Scanned)
+	counter("granula_query2_segments_pruned_total", "Columnar segments skipped by zone-map pruning.", m.query2Pruned)
 	if caches != nil {
 		counter("granula_querycache_hits_total", "Compiled-query cache hits.", caches.QueryHits)
 		counter("granula_querycache_misses_total", "Compiled-query cache misses (full parses).", caches.QueryMisses)
@@ -358,4 +380,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, storeJobs int, storag
 	gauge("granula_storage_recovery_replayed_records", "WAL records replayed at the last open.", int64(storage.RecoveredRecords))
 	gauge("granula_storage_recovery_snapshot_records", "Index entries restored from the snapshot at the last open.", int64(storage.RecoveredFromSnapshot))
 	gauge("granula_storage_recovery_truncated_bytes", "Torn-tail bytes truncated at the last open.", storage.TruncatedBytes)
+	counter("granula_storage_colseg_writes_total", "Columnar segments written.", storage.ColSegWrites)
+	counter("granula_storage_colseg_deletes_total", "Columnar segments deleted with their job.", storage.ColSegDeletes)
+	counter("granula_storage_colseg_full_reads_total", "Columnar segment body reads (scans).", storage.ColSegFullReads)
+	counter("granula_storage_colseg_tail_reads_total", "Columnar segment stats-footer reads (prune checks).", storage.ColSegTailReads)
+	counter("granula_storage_colseg_sweeps_total", "Orphaned columnar segments removed by compaction sweeps.", storage.ColSegSweeps)
 }

@@ -257,6 +257,21 @@ func (s *Server) cached(h http.HandlerFunc) http.HandlerFunc {
 		contentType := rec.header.Get("Content-Type")
 		etag := etagFor(rec.body)
 		s.resp.put(gen, req, contentType, etag, rec.body)
-		serve(contentType, etag, rec.body)
+		if etag == r.Header.Get("If-None-Match") {
+			s.resp.countNotModified()
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		// The execution path replays every header the handler set —
+		// auxiliary headers like X-Granula-Scanned describe this one
+		// run. Cache hits go through serve and replay only
+		// Content-Type and ETag: a hit executed nothing, so execution
+		// detail would be a lie there.
+		for k, vs := range rec.header {
+			w.Header()[k] = vs
+		}
+		w.Header().Set("ETag", etag)
+		w.Write(rec.body)
 	}
 }

@@ -141,6 +141,8 @@ func NewServerWith(exec *Executor, store *Store, m *Metrics, opts ServerOptions)
 	route("DELETE /jobs/{id}", s.handleCancel)
 	route("GET /jobs/{id}/archive", s.cached(s.handleArchive))
 	route("GET /jobs/{id}/query", s.cached(s.handleQuery))
+	route("GET "+shard.Query2Path, s.cached(s.handleQuery2))
+	route("GET "+shard.InternalQuery2Path, s.handleInternalQuery2)
 	route("GET /jobs/{id}/viz/{kind}", s.cached(s.handleViz))
 	route("POST /ingest/{id}", s.handleIngest)
 	route("GET /watch/{id}", s.handleWatch)
@@ -473,6 +475,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		if q.IsAggregate() {
+			s.handleJobAggregate(w, id, params.Get("q"), q, sj, live)
+			return
+		}
 		switch {
 		case live != nil:
 			// Snapshot of the incremental index: completed operations in
@@ -511,6 +517,45 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(liveHeader, "1")
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobAggregate answers an aggregate ?q= on /jobs/{id}/query:
+// the same v2 language scoped to one job. Runs over the job's
+// in-memory columns — the operation details are at hand, so
+// info./derived. group fields work here (unlike the segment-only
+// /query2 path). Live jobs are refused: their summary (job.runtime
+// and friends) does not exist until the job seals.
+func (s *Server) handleJobAggregate(w http.ResponseWriter, id, raw string, q *query.Query, sj *StoredJob, live *stream.Job) {
+	if q.FromJobs() {
+		writeError(w, http.StatusBadRequest,
+			"cross-job queries ('from jobs') are served by /query2, not /jobs/{id}/query")
+		return
+	}
+	if live != nil {
+		writeError(w, http.StatusConflict,
+			"job %q is still streaming; aggregate queries need a sealed archive", id)
+		return
+	}
+	var jp query.JobPartial
+	var err error
+	meta := jobMeta(id, sj.Summary)
+	if sj.Cols != nil {
+		jp, err = q.AggregateFrame(sj.Cols.Frame(meta))
+	} else {
+		jp, err = q.AggregateTree(sj.Job, meta)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := q.RenderAggregate(raw, "job", id, []query.JobPartial{jp})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
 }
 
 func (s *Server) handleViz(w http.ResponseWriter, r *http.Request) {

@@ -376,6 +376,36 @@ func (s *Store) StorageStats() *archivedb.Stats {
 	return &st
 }
 
+// jobMeta projects a stored job's summary into the job.* fields the v2
+// query language exposes, keyed by the store key (which is also the
+// segment key and the partial's job ID).
+func jobMeta(id string, sum Summary) query.JobMeta {
+	return query.JobMeta{
+		ID:         id,
+		Platform:   sum.Platform,
+		Algorithm:  sum.Algorithm,
+		Runtime:    sum.Runtime,
+		Supersteps: sum.Supersteps,
+		Operations: sum.Operations,
+	}
+}
+
+// writeSegment encodes and stores the job's columnar segment. Best
+// effort by design: the segment is derived data — a missing or stale
+// segment is rebuilt lazily from the in-memory columns on the next
+// aggregate query — so a failure here must not fail the Put that
+// carries the durable record.
+func (s *Store) writeSegment(id string, sj *StoredJob, version uint64) {
+	if s.db == nil {
+		return
+	}
+	blob, err := query.EncodeSegment(sj.Cols.Frame(jobMeta(id, sj.Summary)), version)
+	if err != nil {
+		return
+	}
+	_ = s.db.PutSegment(id, blob)
+}
+
 // Put indexes and stores a completed job under its summary ID. Adding
 // the job to a throwaway archive first restores parent links and child
 // ordering, so path keys are correct for jobs fresh out of the harness
@@ -405,10 +435,29 @@ func (s *Store) Put(job *archive.Job, sum Summary) error {
 			return err
 		}
 		s.breaker.Success()
+		s.writeSegment(sum.ID, sj, version)
 	}
 	s.mu.Lock()
 	s.jobs[sum.ID] = sj
 	s.versions[sum.ID] = version
+	s.generation++
+	s.mu.Unlock()
+	return nil
+}
+
+// Delete removes a job from the store: the in-memory entry, the
+// durable record, and its columnar segment, in that order of
+// authority. The publish generation bumps so every cached response
+// that could still mention the job is invalidated.
+func (s *Store) Delete(id string) error {
+	if s.db != nil {
+		if err := s.db.Delete(id); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	delete(s.jobs, id)
+	delete(s.versions, id)
 	s.generation++
 	s.mu.Unlock()
 	return nil
@@ -486,6 +535,7 @@ func (s *Store) ApplyReplica(id string, version uint64, payload []byte) error {
 			return err
 		}
 		s.breaker.Success()
+		s.writeSegment(id, sj, version)
 	}
 	s.mu.Lock()
 	if s.versions[id] < version {

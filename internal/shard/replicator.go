@@ -31,6 +31,19 @@ const (
 	// clients (and the loadtest driver's per-shard latency split) can
 	// attribute a response without parsing bodies.
 	ShardHeader = "X-Granula-Shard"
+
+	// Query2Path is the public analytical endpoint (?q= holds a v2
+	// aggregate query); InternalQuery2Path returns the per-job partial
+	// aggregates the router's scatter-gather merges.
+	Query2Path         = "/query2"
+	InternalQuery2Path = "/internal/query2"
+
+	// ScannedHeader/PrunedHeader report how many columnar segments a
+	// v2 query read vs skipped via zone maps. Execution detail, so it
+	// travels in headers — response bodies stay byte-identical across
+	// the segment path, the tree-walk oracle, and the router merge.
+	ScannedHeader = "X-Granula-Scanned"
+	PrunedHeader  = "X-Granula-Pruned"
 )
 
 // ReplicaRecord is the unit of replication: one job's persisted payload

@@ -137,6 +137,7 @@ func NewRouter(m *Map, opts RouterOptions) *Router {
 	mux.HandleFunc("GET /jobs/{id}/archive", rt.handleRead)
 	mux.HandleFunc("GET /jobs/{id}/query", rt.handleRead)
 	mux.HandleFunc("GET /jobs/{id}/viz/{kind}", rt.handleRead)
+	mux.HandleFunc("GET "+Query2Path, rt.handleQuery2)
 	mux.HandleFunc("POST /ingest/{id}", rt.handleIngest)
 	mux.HandleFunc("GET /watch/{id}", rt.handleWatch)
 	mux.HandleFunc("POST /diff", rt.handleDiff)
